@@ -1,0 +1,29 @@
+//! # kmsg-apps — evaluation applications for KompicsMessaging
+//!
+//! The workloads of the paper's evaluation (§V): bulk file transfer with
+//! 65 kB chunking and `MessageNotify`-based pipelining ([`transfer`]),
+//! timing-sensitive ping/pong control traffic ([`ping`]), deterministic
+//! synthetic datasets with controllable compressibility ([`dataset`]),
+//! sequential-disk models ([`disk`]), the calibrated EC2-like environments
+//! ([`scenario`]) and a one-call experiment harness ([`experiment`]).
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod disk;
+pub mod experiment;
+pub mod msgs;
+pub mod ping;
+pub mod scenario;
+pub mod transfer;
+
+pub use dataset::{Dataset, DatasetKind, PAPER_CHUNK_SIZE, PAPER_DATASET_SIZE};
+pub use disk::{DiskModel, DISK_RATE, MEMORY_RATE};
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, PingSettings};
+pub use msgs::{ChunkMsg, PingMsg, PongMsg};
+pub use ping::{PingStats, PingStatsHandle, Pinger, PingerConfig, Ponger};
+pub use scenario::{two_host_world, Setup, TwoHostWorld};
+pub use transfer::{
+    FileReceiver, FileSender, ReceiverConfig, ReceiverSample, ReceiverStats, SenderConfig,
+    SenderStats,
+};

@@ -1,0 +1,215 @@
+//! Criterion micro-benchmarks for the building blocks: pattern
+//! generation and selection, Sarsa(λ) steps, the compression codec, wire
+//! framing, the discrete-event engine, and component messaging.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use kmsg_core::data::{
+    build_pattern, PatternKind, PatternSelection, ProtocolSelectionPolicy, RandomSelection, Ratio,
+};
+use kmsg_learning::prelude::*;
+use kmsg_netsim::engine::Sim;
+use kmsg_netsim::rng::SeedSource;
+use rand::SeedableRng;
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psp");
+    let ratio = Ratio::from_prob_udt(0.37);
+    group.bench_function("build_pattern_minimal_rest", |b| {
+        let f = ratio.fraction(100);
+        b.iter(|| build_pattern(black_box(&f), PatternKind::MinimalRest));
+    });
+    group.bench_function("pattern_select", |b| {
+        let mut psp = PatternSelection::new(ratio, PatternKind::MinimalRest, 100);
+        b.iter(|| black_box(psp.select()));
+    });
+    group.bench_function("random_select", |b| {
+        let mut psp = RandomSelection::new(ratio, SeedSource::new(1).stream("bench"));
+        b.iter(|| black_box(psp.select()));
+    });
+    group.finish();
+}
+
+fn bench_sarsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sarsa");
+    let space = RatioSpace::default();
+    for (name, backend) in [
+        ("matrix", 0usize),
+        ("model_v", 1),
+        ("approx_v", 2),
+    ] {
+        group.bench_function(format!("step_{name}"), |b| {
+            let value: Box<dyn ActionValue> = match backend {
+                0 => Box::new(MatrixQ::new(space)),
+                1 => Box::new(ModelV::new(space)),
+                _ => Box::new(ApproxV::new(space)),
+            };
+            let mut learner = Sarsa::new(
+                space,
+                SarsaConfig::default(),
+                value,
+                rand_chacha::ChaCha12Rng::seed_from_u64(1),
+            );
+            let mut s = space.nearest_state(0.0);
+            let mut a = learner.begin(s);
+            b.iter(|| {
+                let s2 = space.transition(s, a);
+                a = learner.step(black_box(1.0), s2);
+                s = s2;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    let climate = kmsg_apps::Dataset::climate(65_000, 1).chunk(0, 65_000);
+    let random = kmsg_apps::Dataset::random(65_000, 1).chunk(0, 65_000);
+    group.throughput(Throughput::Bytes(65_000));
+    group.bench_function("compress_climate_65k", |b| {
+        b.iter(|| kmsg_core::codec::compress(black_box(&climate)));
+    });
+    group.bench_function("compress_random_65k", |b| {
+        b.iter(|| kmsg_core::codec::compress(black_box(&random)));
+    });
+    let compressed = kmsg_core::codec::compress(&climate);
+    group.bench_function("decompress_climate_65k", |b| {
+        b.iter(|| kmsg_core::codec::decompress(black_box(&compressed), 65_000).expect("ok"));
+    });
+    group.finish();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    use kmsg_core::net::frame::{decode_frame_body, encode_frame, Compression, FrameDecoder};
+    use kmsg_core::prelude::*;
+
+    let sim = Sim::new(1);
+    let net = kmsg_netsim::network::Network::new(&sim);
+    let a = net.add_node("a");
+    let b = net.add_node("b");
+    let msg = NetMessage::new(
+        NetAddress::new(a, 1),
+        NetAddress::new(b, 2),
+        Transport::Tcp,
+        kmsg_apps::Dataset::random(65_000, 1).chunk(0, 65_000),
+    );
+    let mut group = c.benchmark_group("frame");
+    group.throughput(Throughput::Bytes(65_000));
+    group.bench_function("encode_65k_uncompressed", |bch| {
+        bch.iter(|| encode_frame(black_box(&msg), Compression::Off).expect("ok"));
+    });
+    let frame = encode_frame(&msg, Compression::Off).expect("ok");
+    group.bench_function("decode_65k", |bch| {
+        bch.iter(|| {
+            let mut dec = FrameDecoder::new();
+            dec.feed(black_box(&frame));
+            let body = dec.next_frame().expect("ok").expect("frame");
+            decode_frame_body(body).expect("ok")
+        });
+    });
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("schedule_and_run_1k_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new(1);
+            for i in 0..1000u64 {
+                sim.schedule_at(
+                    kmsg_netsim::time::SimTime::from_nanos(i),
+                    |_| {},
+                );
+            }
+            sim.run_to_completion()
+        });
+    });
+    group.finish();
+}
+
+fn bench_component_messaging(c: &mut Criterion) {
+    use kmsg_component::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct Tick(u64);
+    struct TickPort;
+    impl Port for TickPort {
+        type Request = Tick;
+        type Indication = Tick;
+    }
+    #[derive(Default)]
+    struct Echo {
+        port: ProvidedPort<TickPort>,
+        seen: u64,
+    }
+    impl ComponentDefinition for Echo {
+        fn execute(&mut self, ctx: &mut ComponentContext, max: usize) -> usize {
+            kmsg_component::execute_ports!(self, ctx, max, [provided port: TickPort])
+        }
+    }
+    impl Provide<TickPort> for Echo {
+        fn handle(&mut self, _ctx: &mut ComponentContext, ev: Tick) {
+            self.seen += 1;
+            self.port.trigger(ev);
+        }
+    }
+    impl ProvideRef<TickPort> for Echo {
+        fn provided_port(&mut self) -> &mut ProvidedPort<TickPort> {
+            &mut self.port
+        }
+    }
+    #[derive(Default)]
+    struct Sink {
+        port: RequiredPort<TickPort>,
+        seen: u64,
+    }
+    impl ComponentDefinition for Sink {
+        fn execute(&mut self, ctx: &mut ComponentContext, max: usize) -> usize {
+            kmsg_component::execute_ports!(self, ctx, max, [required port: TickPort])
+        }
+    }
+    impl Require<TickPort> for Sink {
+        fn handle(&mut self, _ctx: &mut ComponentContext, ev: Tick) {
+            self.seen = ev.0;
+        }
+    }
+    impl RequireRef<TickPort> for Sink {
+        fn required_port(&mut self) -> &mut RequiredPort<TickPort> {
+            &mut self.port
+        }
+    }
+
+    let mut group = c.benchmark_group("component");
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("round_trip_1k_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new(1);
+            let system = ComponentSystem::simulation(&sim, SystemConfig::default());
+            let echo = system.create(Echo::default);
+            let sink = system.create(Sink::default);
+            system.connect::<TickPort, _, _>(&echo, &sink);
+            system.start(&echo);
+            system.start(&sink);
+            sink.on_definition(|s| {
+                for i in 0..1000 {
+                    s.port.trigger(Tick(i));
+                }
+            });
+            sim.run_to_completion();
+            sink.on_definition(|s| s.seen)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_patterns,
+    bench_sarsa,
+    bench_codec,
+    bench_framing,
+    bench_engine,
+    bench_component_messaging
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! **Figure 1** — Distribution of observed selection ratios of the
+//! probabilistic (Random) and the Pattern protocol selection policies,
+//! compared to the target ratio.
+//!
+//! The paper's setting (§IV-B2): on a 100 MB/s link with 10 ms delay and
+//! 65 kB messages, one 1 s learning episode covers ~1600 messages and ~16
+//! messages are concurrently on the wire. For each target ratio the
+//! selectors emit a long stream; sliding windows of 1600 ("Episode") and
+//! 16 ("Wire") messages yield ~160 000 observed-ratio entries per dataset,
+//! summarised as min / p25 / median / p75 / max boxes.
+//!
+//! ```text
+//! cargo run --release -p kmsg-bench --bin fig1
+//! ```
+
+use kmsg_core::data::{
+    PatternKind, PatternSelection, ProtocolSelectionPolicy, RandomSelection, Ratio,
+};
+use kmsg_core::Transport;
+use kmsg_netsim::rng::SeedSource;
+use kmsg_netsim::stats::Summary;
+
+const EPISODE_WINDOW: usize = 1600;
+const WIRE_WINDOW: usize = 16;
+const ENTRIES: usize = 160_000;
+
+/// Sliding-window signed ratios over a selection stream.
+fn windowed_ratios(stream: &[Transport], window: usize) -> Vec<f64> {
+    assert!(stream.len() > window);
+    let mut udt_in_window = stream[..window]
+        .iter()
+        .filter(|&&t| t == Transport::Udt)
+        .count();
+    let mut out = Vec::with_capacity(stream.len() - window);
+    out.push(2.0 * udt_in_window as f64 / window as f64 - 1.0);
+    for i in window..stream.len() {
+        if stream[i] == Transport::Udt {
+            udt_in_window += 1;
+        }
+        if stream[i - window] == Transport::Udt {
+            udt_in_window -= 1;
+        }
+        out.push(2.0 * udt_in_window as f64 / window as f64 - 1.0);
+    }
+    out
+}
+
+fn stream_of(policy: &mut dyn ProtocolSelectionPolicy, n: usize) -> Vec<Transport> {
+    (0..n).map(|_| policy.select()).collect()
+}
+
+fn main() {
+    let seeds = SeedSource::new(1);
+    // The paper's x-axis: target ratios as the probability of UDT.
+    let targets = [(0.0, "0"), (0.03, "3/100"), (1.0 / 3.0, "1/3"), (0.8, "4/5")];
+
+    println!("Figure 1 — observed selection ratio distributions");
+    println!("(signed form: -1.0 = 100% TCP, +1.0 = 100% UDT)\n");
+    println!(
+        "{:>7} {:>8} {:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "target", "(signed)", "dataset", "min", "p25", "median", "p75", "max", "mean"
+    );
+    kmsg_bench::rule(96);
+
+    for &(prob, label) in &targets {
+        let ratio = Ratio::from_prob_udt(prob);
+        for (window, window_label) in [(EPISODE_WINDOW, "Episode"), (WIRE_WINDOW, "Wire")] {
+            for pattern in [true, false] {
+                let name = if pattern { "Pattern" } else { "Random" };
+                let mut policy: Box<dyn ProtocolSelectionPolicy> = if pattern {
+                    Box::new(PatternSelection::new(ratio, PatternKind::MinimalRest, 100))
+                } else {
+                    Box::new(RandomSelection::new(
+                        ratio,
+                        seeds.stream(&format!("fig1-{label}-{window_label}")),
+                    ))
+                };
+                let stream = stream_of(policy.as_mut(), ENTRIES + window);
+                let ratios = windowed_ratios(&stream, window);
+                let s = Summary::of(&ratios);
+                println!(
+                    "{:>7} {:>8} {:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                    label,
+                    kmsg_bench::fmt_ratio(ratio.signed()),
+                    format!("{window_label}/{name}"),
+                    s.min,
+                    s.p25,
+                    s.median,
+                    s.p75,
+                    s.max,
+                    s.mean,
+                );
+            }
+        }
+        kmsg_bench::rule(96);
+    }
+    println!(
+        "\nExpected shape (paper): Pattern boxes hug the target, especially for\n\
+         full episodes; Random shows ~0.1 skew at episode scale and up to ~0.5\n\
+         at wire scale. At 3/100 even Pattern cannot be tight within 16\n\
+         messages (majority runs exceed the wire window)."
+    );
+}

@@ -1,0 +1,76 @@
+//! **Figure 9** — data transfer throughput for different RTTs, over TCP,
+//! UDT and the adaptive DATA meta-protocol (error bars: 95% confidence
+//! intervals; repetitions until the relative standard error < 10%, as in
+//! the paper).
+//!
+//! Expected shape: TCP excels at low RTT (disk-limited at ~110 MB/s
+//! locally and in the VPC) but collapses on the lossy high-BDP paths; UDT
+//! sits near the 10 MB/s UDP policer everywhere; DATA tracks whichever is
+//! better, with some ramp-up cost and higher variance.
+//!
+//! ```text
+//! cargo run --release -p kmsg-bench --bin fig9 [--quick] [--size-mb N] [--reps N]
+//! ```
+
+use kmsg_apps::{run_experiment, Dataset, ExperimentConfig, Setup};
+use kmsg_core::Transport;
+
+fn main() {
+    let args = kmsg_bench::BenchArgs::parse();
+    let dataset = Dataset::climate(args.size, args.seed);
+    println!(
+        "Figure 9 — disk-to-disk transfer throughput vs RTT ({} MB dataset, \
+         >= {} runs, RSE < 10% stopping rule)",
+        args.size / (1024 * 1024),
+        args.min_reps
+    );
+    println!(
+        "\n{:<8} {:>8} | {:>22} {:>22} {:>22}",
+        "setup", "RTT", "TCP (MB/s ± CI95)", "UDT (MB/s ± CI95)", "DATA (MB/s ± CI95)"
+    );
+    kmsg_bench::rule(92);
+    for setup in Setup::paper_setups() {
+        let mut row = format!(
+            "{:<8} {:>5.0} ms |",
+            setup.label(),
+            setup.rtt().as_secs_f64() * 1e3
+        );
+        for transport in [Transport::Tcp, Transport::Udt, Transport::Data] {
+            let stats = kmsg_bench::repeat_until_stable(args.min_reps, args.reps, |rep| {
+                let mut cfg = ExperimentConfig::transfer(
+                    setup.clone(),
+                    transport,
+                    dataset,
+                    args.seed.wrapping_mul(1000) + rep,
+                );
+                if transport == Transport::Data {
+                    // The paper measures repeated runs against a standing
+                    // deployment, so the learner arrives warm; model that
+                    // with warm-up rounds and report the last round.
+                    cfg.transfer_rounds = if setup.rtt() < std::time::Duration::from_millis(50) {
+                        10
+                    } else {
+                        2
+                    };
+                    cfg.max_sim_time = std::time::Duration::from_secs(2400);
+                }
+                let result = run_experiment(&cfg);
+                assert!(result.verified, "transfer must verify ({transport})");
+                result.throughput.expect("transfer completed") / 1e6
+            });
+            row.push_str(&format!(
+                " {:>12.2} ± {:>6.2}",
+                stats.mean(),
+                stats.ci95_half_width()
+            ));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\nExpected shape (paper): TCP ~disk speed at <= 3 ms RTT, then a sharp\n\
+         drop-off; UDT consistent near 10 MB/s on every real-network setup\n\
+         (Amazon's UDP rate limit) and buffer/queue-limited locally; DATA\n\
+         close to the best protocol at every RTT, with ramp-up overhead and\n\
+         wider error bars."
+    );
+}

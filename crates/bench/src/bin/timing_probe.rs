@@ -1,0 +1,51 @@
+//! Calibration probe: prints the baseline behaviours the experiment
+//! environments are calibrated to (see DESIGN.md §3) — one full-size
+//! transfer per (setup, transport) pair of interest, with simulated time,
+//! throughput and event counts.
+//!
+//! ```text
+//! cargo run --release -p kmsg-bench --bin timing_probe
+//! ```
+
+use kmsg_apps::*;
+use kmsg_core::Transport;
+use std::time::Instant;
+
+fn main() {
+    println!("Calibration probe ({} MB dataset):\n", PAPER_DATASET_SIZE / (1024 * 1024));
+    println!(
+        "{:<8} {:<5} {:>10} {:>12} {:>12} {:>9}",
+        "setup", "proto", "sim time", "throughput", "events", "wall"
+    );
+    kmsg_bench::rule(62);
+    for (setup, proto) in [
+        (Setup::Local, Transport::Tcp),
+        (Setup::Local, Transport::Udt),
+        (Setup::EuVpc, Transport::Tcp),
+        (Setup::EuVpc, Transport::Udt),
+        (Setup::Eu2Us, Transport::Tcp),
+        (Setup::Eu2Us, Transport::Udt),
+        (Setup::Eu2Au, Transport::Tcp),
+        (Setup::Eu2Au, Transport::Udt),
+    ] {
+        let dataset = Dataset::climate(PAPER_DATASET_SIZE, 1);
+        let cfg = ExperimentConfig::transfer(setup.clone(), proto, dataset, 1);
+        let wall = Instant::now();
+        let r = run_experiment(&cfg);
+        assert!(r.verified, "calibration transfers must verify");
+        println!(
+            "{:<8} {:<5} {:>8.1} s {:>9.2} MB/s {:>12} {:>7.1} s",
+            setup.label(),
+            proto.to_string(),
+            r.transfer_time.expect("completed").as_secs_f64(),
+            r.throughput.expect("completed") / 1e6,
+            r.events,
+            wall.elapsed().as_secs_f64()
+        );
+    }
+    println!(
+        "\nCalibration targets (paper, §V): TCP disk-limited (~110 MB/s) at\n\
+         Local/EU-VPC and collapsing to ~1-2 MB/s on the lossy WAN paths;\n\
+         UDT near the ~10 MB/s EC2 UDP policer on every real-network setup."
+    );
+}

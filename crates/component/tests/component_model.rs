@@ -1,0 +1,453 @@
+//! Integration tests for the component model: Kompics semantics
+//! (broadcast, FIFO, exactly-once, selectors), lifecycle, timers, self
+//! ports, fairness, and the threaded scheduler.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use kmsg_component::prelude::*;
+use kmsg_netsim::engine::Sim;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Num(u64);
+
+struct NumPort;
+impl Port for NumPort {
+    type Request = Num;
+    type Indication = Num;
+}
+
+/// Echoes every request back as an indication.
+#[derive(Default)]
+struct Echo {
+    port: ProvidedPort<NumPort>,
+    seen: Vec<u64>,
+}
+
+impl ComponentDefinition for Echo {
+    fn execute(&mut self, ctx: &mut ComponentContext, max: usize) -> usize {
+        execute_ports!(self, ctx, max, [provided port: NumPort])
+    }
+}
+impl Provide<NumPort> for Echo {
+    fn handle(&mut self, _ctx: &mut ComponentContext, ev: Num) {
+        self.seen.push(ev.0);
+        self.port.trigger(ev);
+    }
+}
+impl ProvideRef<NumPort> for Echo {
+    fn provided_port(&mut self) -> &mut ProvidedPort<NumPort> {
+        &mut self.port
+    }
+}
+
+/// Sends a burst on start, records indications.
+#[derive(Default)]
+struct Client {
+    port: RequiredPort<NumPort>,
+    burst: u64,
+    received: Vec<u64>,
+}
+
+impl ComponentDefinition for Client {
+    fn execute(&mut self, ctx: &mut ComponentContext, max: usize) -> usize {
+        execute_ports!(self, ctx, max, [required port: NumPort])
+    }
+    fn handle_control(&mut self, _ctx: &mut ComponentContext, event: ControlEvent) {
+        if event == ControlEvent::Start {
+            for i in 0..self.burst {
+                self.port.trigger(Num(i));
+            }
+        }
+    }
+}
+impl Require<NumPort> for Client {
+    fn handle(&mut self, _ctx: &mut ComponentContext, ev: Num) {
+        self.received.push(ev.0);
+    }
+}
+impl RequireRef<NumPort> for Client {
+    fn required_port(&mut self) -> &mut RequiredPort<NumPort> {
+        &mut self.port
+    }
+}
+
+fn sim_system() -> (Sim, ComponentSystem) {
+    let sim = Sim::new(99);
+    let system = ComponentSystem::simulation(&sim, SystemConfig::default());
+    (sim, system)
+}
+
+#[test]
+fn fifo_exactly_once_round_trip() {
+    let (sim, system) = sim_system();
+    let echo = system.create(Echo::default);
+    let client = system.create(|| Client {
+        burst: 100,
+        ..Client::default()
+    });
+    system.connect::<NumPort, _, _>(&echo, &client);
+    system.start(&echo);
+    system.start(&client);
+    sim.run_for(Duration::from_secs(1));
+    let received = client.on_definition(|c| c.received.clone());
+    assert_eq!(received, (0..100).collect::<Vec<_>>(), "FIFO exactly-once");
+    assert_eq!(echo.on_definition(|e| e.seen.len()), 100);
+}
+
+#[test]
+fn broadcast_to_multiple_requirers() {
+    let (sim, system) = sim_system();
+    let echo = system.create(Echo::default);
+    let c1 = system.create(|| Client {
+        burst: 1,
+        ..Client::default()
+    });
+    let c2 = system.create(|| Client {
+        burst: 0,
+        ..Client::default()
+    });
+    system.connect::<NumPort, _, _>(&echo, &c1);
+    system.connect::<NumPort, _, _>(&echo, &c2);
+    system.start(&echo);
+    system.start(&c1);
+    system.start(&c2);
+    sim.run_for(Duration::from_secs(1));
+    // c1's single ping is answered; the indication broadcasts to BOTH
+    // requirers (Kompics channel semantics).
+    assert_eq!(c1.on_definition(|c| c.received.clone()), vec![0]);
+    assert_eq!(c2.on_definition(|c| c.received.clone()), vec![0]);
+}
+
+#[test]
+fn channel_selectors_route_indications() {
+    let (sim, system) = sim_system();
+    let echo = system.create(Echo::default);
+    let even = system.create(|| Client {
+        burst: 10,
+        ..Client::default()
+    });
+    let odd = system.create(|| Client {
+        burst: 0,
+        ..Client::default()
+    });
+    system.connect_filtered::<NumPort, _, _>(
+        &echo,
+        &even,
+        None,
+        Some(Arc::new(|n: &Num| n.0.is_multiple_of(2))),
+    );
+    system.connect_filtered::<NumPort, _, _>(
+        &echo,
+        &odd,
+        None,
+        Some(Arc::new(|n: &Num| n.0 % 2 == 1)),
+    );
+    system.start(&echo);
+    system.start(&even);
+    system.start(&odd);
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(even.on_definition(|c| c.received.clone()), vec![0, 2, 4, 6, 8]);
+    assert_eq!(odd.on_definition(|c| c.received.clone()), vec![1, 3, 5, 7, 9]);
+}
+
+#[test]
+fn passive_components_queue_until_started() {
+    let (sim, system) = sim_system();
+    let echo = system.create(Echo::default);
+    let client = system.create(|| Client {
+        burst: 5,
+        ..Client::default()
+    });
+    system.connect::<NumPort, _, _>(&echo, &client);
+    system.start(&client); // echo stays passive
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(echo.on_definition(|e| e.seen.len()), 0, "passive: must not run");
+    assert_eq!(echo.lifecycle_state(), LifecycleState::Passive);
+    system.start(&echo);
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(echo.on_definition(|e| e.seen.len()), 5, "events retained");
+    assert_eq!(client.on_definition(|c| c.received.len()), 5);
+}
+
+#[test]
+fn killed_component_stops_processing() {
+    let (sim, system) = sim_system();
+    let echo = system.create(Echo::default);
+    let client = system.create(|| Client {
+        burst: 1,
+        ..Client::default()
+    });
+    system.connect::<NumPort, _, _>(&echo, &client);
+    system.start(&echo);
+    system.start(&client);
+    sim.run_for(Duration::from_secs(1));
+    system.kill(&echo);
+    sim.run_for(Duration::from_millis(10));
+    assert_eq!(echo.lifecycle_state(), LifecycleState::Destroyed);
+    // New requests are ignored.
+    client.on_definition(|c| c.port.trigger(Num(7)));
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(echo.on_definition(|e| e.seen.len()), 1);
+}
+
+/// A component that counts timer firings and cancels after five.
+#[derive(Default)]
+struct Ticker {
+    ticks: u32,
+    timer: Option<TimeoutId>,
+}
+
+impl ComponentDefinition for Ticker {
+    fn execute(&mut self, _ctx: &mut ComponentContext, _max: usize) -> usize {
+        0
+    }
+    fn handle_control(&mut self, ctx: &mut ComponentContext, event: ControlEvent) {
+        if event == ControlEvent::Start {
+            self.timer =
+                Some(ctx.schedule_periodic(Duration::from_millis(10), Duration::from_millis(10)));
+        }
+    }
+    fn on_timeout(&mut self, ctx: &mut ComponentContext, id: TimeoutId) {
+        if Some(id) == self.timer {
+            self.ticks += 1;
+            if self.ticks == 5 {
+                ctx.cancel_timer(id);
+            }
+        }
+    }
+}
+
+#[test]
+fn periodic_timer_fires_and_cancels() {
+    let (sim, system) = sim_system();
+    let ticker = system.create(Ticker::default);
+    system.start(&ticker);
+    sim.run_for(Duration::from_secs(2));
+    assert_eq!(ticker.on_definition(|t| t.ticks), 5);
+}
+
+/// A component fed exclusively through a self port.
+#[derive(Default)]
+struct Injected {
+    inbox: SelfPort<String>,
+    log: Vec<String>,
+}
+
+impl ComponentDefinition for Injected {
+    fn execute(&mut self, ctx: &mut ComponentContext, max: usize) -> usize {
+        execute_ports!(self, ctx, max, [selfport inbox: String])
+    }
+}
+impl HandleSelf<String> for Injected {
+    fn handle_self(&mut self, _ctx: &mut ComponentContext, event: String) {
+        self.log.push(event);
+    }
+}
+
+#[test]
+fn self_port_injection_from_outside() {
+    let (sim, system) = sim_system();
+    let comp = system.create(Injected::default);
+    let handle = comp.self_ref(|c| &mut c.inbox);
+    system.start(&comp);
+    handle.push("hello".to_string());
+    handle.push("world".to_string());
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(comp.on_definition(|c| c.log.clone()), vec!["hello", "world"]);
+}
+
+/// An echo variant that records how many events each `execute` batch
+/// handled, to verify the `max_events_per_scheduling` fairness knob.
+#[derive(Default)]
+struct BatchEcho {
+    port: ProvidedPort<NumPort>,
+    batches: Vec<usize>,
+    total: usize,
+}
+
+impl ComponentDefinition for BatchEcho {
+    fn execute(&mut self, ctx: &mut ComponentContext, max: usize) -> usize {
+        let handled = execute_ports!(self, ctx, max, [provided port: NumPort]);
+        if handled > 0 {
+            self.batches.push(handled);
+            self.total += handled;
+        }
+        handled
+    }
+}
+impl Provide<NumPort> for BatchEcho {
+    fn handle(&mut self, _ctx: &mut ComponentContext, ev: Num) {
+        self.port.trigger(ev);
+    }
+}
+impl ProvideRef<NumPort> for BatchEcho {
+    fn provided_port(&mut self) -> &mut ProvidedPort<NumPort> {
+        &mut self.port
+    }
+}
+
+/// Fairness: a component with a huge backlog yields after
+/// `max_events_per_scheduling` events and is rescheduled at the back of
+/// the queue rather than monopolising the scheduler.
+#[test]
+fn max_events_per_scheduling_bounds_batches() {
+    let sim = Sim::new(5);
+    let system = ComponentSystem::simulation(
+        &sim,
+        SystemConfig {
+            max_events_per_scheduling: 10,
+            ..SystemConfig::default()
+        },
+    );
+    let echo = system.create(BatchEcho::default);
+    let client = system.create(|| Client {
+        burst: 1000,
+        ..Client::default()
+    });
+    system.connect::<NumPort, _, _>(&echo, &client);
+    system.start(&echo);
+    system.start(&client);
+    sim.run_for(Duration::from_secs(1));
+    let (batches, total) = echo.on_definition(|e| (e.batches.clone(), e.total));
+    assert_eq!(total, 1000);
+    assert!(batches.iter().all(|&b| b <= 10), "batch exceeded limit: {batches:?}");
+    assert!(batches.len() >= 100, "expected >= 100 batches, got {}", batches.len());
+    assert_eq!(client.on_definition(|c| c.received.len()), 1000);
+}
+
+#[test]
+fn threaded_system_round_trip() {
+    let system = ComponentSystem::threaded(SystemConfig {
+        threads: 2,
+        ..SystemConfig::default()
+    });
+    let echo = system.create(Echo::default);
+    let client = system.create(|| Client {
+        burst: 500,
+        ..Client::default()
+    });
+    system.connect::<NumPort, _, _>(&echo, &client);
+    system.start(&echo);
+    system.start(&client);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let n = client.on_definition(|c| c.received.len());
+        if n == 500 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "threaded round trip timed out at {n}/500"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let received = client.on_definition(|c| c.received.clone());
+    assert_eq!(received, (0..500).collect::<Vec<_>>(), "FIFO under threads");
+    system.shutdown();
+}
+
+#[test]
+fn threaded_timer_delivery() {
+    let system = ComponentSystem::threaded(SystemConfig {
+        threads: 2,
+        ..SystemConfig::default()
+    });
+    let ticker = system.create(Ticker::default);
+    system.start(&ticker);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while ticker.on_definition(|t| t.ticks) < 5 {
+        assert!(std::time::Instant::now() < deadline, "timer ticks timed out");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(ticker.on_definition(|t| t.ticks), 5);
+    system.shutdown();
+}
+
+#[test]
+fn system_clock_advances_with_sim() {
+    let (sim, system) = sim_system();
+    assert_eq!(system.now(), kmsg_netsim::time::SimTime::ZERO);
+    sim.run_for(Duration::from_secs(4));
+    assert_eq!(system.now(), kmsg_netsim::time::SimTime::from_secs(4));
+}
+
+#[test]
+fn component_count_tracks_creation() {
+    let (_sim, system) = sim_system();
+    assert_eq!(system.component_count(), 0);
+    let _a = system.create(Echo::default);
+    let _b = system.create(Echo::default);
+    assert_eq!(system.component_count(), 2);
+}
+
+/// Request-direction selectors: a provider only receives the requests its
+/// channel's filter accepts (the mirror image of the indication selectors
+/// used for virtual-node routing).
+#[test]
+fn channel_selectors_route_requests() {
+    let sim = Sim::new(123);
+    let system = ComponentSystem::simulation(&sim, SystemConfig::default());
+    let even_echo = system.create(Echo::default);
+    let odd_echo = system.create(Echo::default);
+    let client = system.create(|| Client {
+        burst: 10,
+        ..Client::default()
+    });
+    system.connect_filtered::<NumPort, _, _>(
+        &even_echo,
+        &client,
+        Some(Arc::new(|n: &Num| n.0.is_multiple_of(2))),
+        None,
+    );
+    system.connect_filtered::<NumPort, _, _>(
+        &odd_echo,
+        &client,
+        Some(Arc::new(|n: &Num| n.0 % 2 == 1)),
+        None,
+    );
+    system.start(&even_echo);
+    system.start(&odd_echo);
+    system.start(&client);
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(even_echo.on_definition(|e| e.seen.clone()), vec![0, 2, 4, 6, 8]);
+    assert_eq!(odd_echo.on_definition(|e| e.seen.clone()), vec![1, 3, 5, 7, 9]);
+    // The client hears every echo twice? No: each request went to exactly
+    // one provider, and each provider broadcasts its indication to its own
+    // channel back to the client.
+    assert_eq!(client.on_definition(|c| c.received.len()), 10);
+}
+
+/// Stop pauses a component (events queue); start resumes with events
+/// retained.
+#[test]
+fn stop_and_restart_retains_events() {
+    let sim = Sim::new(7);
+    let system = ComponentSystem::simulation(&sim, SystemConfig::default());
+    let echo = system.create(Echo::default);
+    let client = system.create(|| Client {
+        burst: 3,
+        ..Client::default()
+    });
+    system.connect::<NumPort, _, _>(&echo, &client);
+    system.start(&echo);
+    system.start(&client);
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(echo.on_definition(|e| e.seen.len()), 3);
+    system.stop(&echo);
+    sim.run_for(Duration::from_millis(10));
+    assert_eq!(echo.lifecycle_state(), LifecycleState::Passive);
+    client.on_definition(|c| {
+        for i in 100..105 {
+            c.port.trigger(Num(i));
+        }
+    });
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(echo.on_definition(|e| e.seen.len()), 3, "paused: nothing handled");
+    system.start(&echo);
+    sim.run_for(Duration::from_secs(1));
+    assert_eq!(
+        echo.on_definition(|e| e.seen.clone())[3..],
+        [100, 101, 102, 103, 104]
+    );
+}

@@ -1,0 +1,268 @@
+//! A fast LZ77-style block codec — the reproduction's stand-in for the
+//! Snappy handler the paper notes sits in its Netty channel pipeline by
+//! default ("the exact results might differ if the experiments are
+//! repeated with data that can easily be compressed").
+//!
+//! Format (byte-oriented, no entropy coding, 64 KiB window):
+//!
+//! ```text
+//! sequence := lit_len:varint  literals:lit_len bytes  offset:u16le
+//!             [ match_extra:varint ]        -- present iff offset != 0
+//! block    := sequence*                     -- ends at offset == 0
+//! ```
+//!
+//! A match covers `4 + match_extra` bytes copied from `offset` bytes back.
+//! The final sequence carries `offset == 0` and no match.
+
+/// Errors from [`decompress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended mid-sequence.
+    Truncated,
+    /// A back-reference pointed before the start of the output.
+    BadOffset,
+    /// Output would exceed the caller's size limit.
+    TooLarge,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            CodecError::Truncated => "truncated compressed block",
+            CodecError::BadOffset => "back-reference before start of output",
+            CodecError::TooLarge => "decompressed output exceeds the size limit",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const MIN_MATCH: usize = 4;
+const WINDOW: usize = 65_535;
+const HASH_BITS: u32 = 14;
+
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_varint(data: &[u8], pos: &mut usize) -> Result<u32, CodecError> {
+    let mut v: u32 = 0;
+    let mut shift = 0;
+    loop {
+        let b = *data.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        v |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 28 {
+            return Err(CodecError::Truncated);
+        }
+    }
+}
+
+/// Compresses `input`. The output is self-terminating; decompress with
+/// [`decompress`]. Worst case the output is slightly larger than the input
+/// (incompressible data) — callers should keep the raw form when that
+/// happens.
+#[must_use]
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut pos = 0;
+    let mut literal_start = 0;
+
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let candidate = table[h];
+        table[h] = pos;
+        let is_match = candidate != usize::MAX
+            && pos - candidate <= WINDOW
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH];
+        if is_match {
+            // Extend the match.
+            let mut len = MIN_MATCH;
+            while pos + len < input.len()
+                && input[candidate + len] == input[pos + len]
+            {
+                len += 1;
+            }
+            // Emit: literals since literal_start, then the match.
+            let lits = &input[literal_start..pos];
+            put_varint(&mut out, u32::try_from(lits.len()).expect("literal run too long"));
+            out.extend_from_slice(lits);
+            let offset = u16::try_from(pos - candidate).expect("offset fits window");
+            out.extend_from_slice(&offset.to_le_bytes());
+            put_varint(&mut out, u32::try_from(len - MIN_MATCH).expect("match too long"));
+            // Index a few positions inside the match to keep finding
+            // repeats (cheap approximation of full indexing).
+            let end = pos + len;
+            let mut p = pos + 1;
+            while p + MIN_MATCH <= end.min(input.len()) && p < pos + 8 {
+                table[hash4(&input[p..])] = p;
+                p += 1;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    // Final literal-only sequence (offset 0 terminator).
+    let lits = &input[literal_start..];
+    put_varint(&mut out, u32::try_from(lits.len()).expect("literal run too long"));
+    out.extend_from_slice(lits);
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out
+}
+
+/// Decompresses a block produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed input or if the output would exceed
+/// `max_len`.
+pub fn decompress(data: &[u8], max_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    loop {
+        let lit_len = get_varint(data, &mut pos)? as usize;
+        if pos + lit_len > data.len() {
+            return Err(CodecError::Truncated);
+        }
+        if out.len() + lit_len > max_len {
+            return Err(CodecError::TooLarge);
+        }
+        out.extend_from_slice(&data[pos..pos + lit_len]);
+        pos += lit_len;
+        if pos + 2 > data.len() {
+            return Err(CodecError::Truncated);
+        }
+        let offset = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2;
+        if offset == 0 {
+            return Ok(out);
+        }
+        let extra = get_varint(data, &mut pos)? as usize;
+        let match_len = MIN_MATCH + extra;
+        if offset > out.len() {
+            return Err(CodecError::BadOffset);
+        }
+        if out.len() + match_len > max_len {
+            return Err(CodecError::TooLarge);
+        }
+        // Byte-wise copy: correctly handles overlapping references.
+        let start = out.len() - offset;
+        for i in 0..match_len {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).expect("decompress");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_data_shrinks() {
+        let data: Vec<u8> = b"climate-sample-0012;".repeat(500);
+        let c = compress(&data);
+        assert!(
+            c.len() < data.len() / 4,
+            "repetitive data should compress 4x+: {} -> {}",
+            data.len(),
+            c.len()
+        );
+        round_trip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        let data = vec![7u8; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 100, "RLE-like data must collapse, got {}", c.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn random_data_survives() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+        let data: Vec<u8> = (0..65_000).map(|_| rng.gen()).collect();
+        round_trip(&data);
+        // Incompressible data may grow slightly but not much.
+        let c = compress(&data);
+        assert!(c.len() < data.len() + data.len() / 16 + 64);
+    }
+
+    #[test]
+    fn structured_mixed_data() {
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.extend_from_slice(&i.to_le_bytes());
+            data.extend_from_slice(b"station");
+            data.extend_from_slice(&(f64::from(i) * 0.25).to_le_bytes());
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let data: Vec<u8> = b"hello world hello world hello world".to_vec();
+        let c = compress(&data);
+        for cut in [0, 1, c.len() / 2, c.len() - 1] {
+            let r = decompress(&c[..cut], data.len());
+            assert!(r.is_err() || r.expect("ok") != data);
+        }
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let data = vec![7u8; 1000];
+        let c = compress(&data);
+        assert_eq!(decompress(&c, 999), Err(CodecError::TooLarge));
+    }
+
+    #[test]
+    fn bad_offset_detected() {
+        // lit_len=0, offset=5 with empty output so far.
+        let bad = [0u8, 5, 0, 0];
+        assert_eq!(decompress(&bad, 100), Err(CodecError::BadOffset));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CodecError::Truncated.to_string().contains("truncated"));
+    }
+}

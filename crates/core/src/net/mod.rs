@@ -1,0 +1,759 @@
+//! The network component — the reproduction's analog of the paper's
+//! `NettyNetwork` (§III).
+//!
+//! One [`NetworkComponent`] instance provides Kompics' network port
+//! ([`NetworkPort`]) and manages all transport
+//! channels of one listen address:
+//!
+//! * per-message protocol dispatch: each [`NetMessage`]'s header names the
+//!   transport it should travel over (UDP, TCP, UDT — or `DATA`, resolved
+//!   upstream by the interceptor);
+//! * lazy channel establishment: the first message to a `(peer, protocol)`
+//!   pair opens the channel and is queued until it is up;
+//! * conservative channel teardown: channels stay open unless an idle
+//!   timeout is explicitly configured ("channel establishment might be
+//!   expensive … generally channels will be kept open as long as
+//!   possible");
+//! * same-host reflection: messages whose destination shares this
+//!   component's socket (virtual nodes) are delivered back up the port
+//!   without ever being serialised;
+//! * multi-hop forwarding for [`RoutingHeader`](crate::header::RoutingHeader)
+//!   messages;
+//! * delivery notifications (`MessageNotify`).
+
+pub mod frame;
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use kmsg_component::prelude::*;
+use kmsg_netsim::iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvents};
+use kmsg_netsim::network::{BindError, Network};
+use kmsg_netsim::packet::Endpoint;
+use kmsg_netsim::tcp::{TcpConfig, TcpConn, TcpListener};
+use kmsg_netsim::udp::{UdpEvents, UdpSocket, MAX_DATAGRAM};
+use kmsg_netsim::udt::{UdtConfig, UdtConn, UdtListener};
+
+use crate::address::{Address, NetAddress};
+use crate::header::NetHeader;
+use crate::msg::{
+    DeliveryStatus, NetIndication, NetMessage, NetRequest, NetworkPort, NotifyToken, SendError,
+};
+use crate::transport::Transport;
+use frame::{decode_frame_body, encode_frame, Compression, FrameDecoder};
+
+/// Configuration of a [`NetworkComponent`].
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// The listen address; the same port number is bound for TCP, UDP and
+    /// UDT (they live in separate port spaces).
+    pub addr: NetAddress,
+    /// TCP tuning.
+    pub tcp: TcpConfig,
+    /// UDT tuning (the paper raises the protocol buffers to 100 MB).
+    pub udt: UdtConfig,
+    /// Outbound payload compression (Snappy stand-in).
+    pub compression: Compression,
+    /// What to do when a message still marked [`Transport::Data`] reaches
+    /// the network layer (i.e. no interceptor resolved it): fall back to
+    /// this transport, or fail the send if `None`.
+    pub data_fallback: Option<Transport>,
+    /// Close channels idle for this long; `None` (default) keeps channels
+    /// open for the lifetime of the component.
+    pub idle_timeout: Option<std::time::Duration>,
+}
+
+impl NetworkConfig {
+    /// A configuration listening on `addr` with default transports.
+    #[must_use]
+    pub fn new(addr: NetAddress) -> Self {
+        NetworkConfig {
+            addr,
+            tcp: TcpConfig::default(),
+            udt: UdtConfig::default(),
+            compression: Compression::default(),
+            data_fallback: Some(Transport::Tcp),
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Counters exposed by the network component (shared handle, updated
+/// inside the component).
+#[derive(Debug, Clone, Default)]
+pub struct MiddlewareStats {
+    /// Messages sent per transport (indexed by `Transport::to_byte`).
+    pub sent: [u64; 4],
+    /// Messages received from the wire per transport.
+    pub received: [u64; 4],
+    /// Messages delivered locally without serialisation (vnode reflection).
+    pub local_reflections: u64,
+    /// Multi-hop messages forwarded through this host.
+    pub forwarded: u64,
+    /// Bytes written to transports (after framing/compression).
+    pub bytes_out: u64,
+    /// Bytes received from transports (before decompression).
+    pub bytes_in: u64,
+    /// Failed sends.
+    pub send_failures: u64,
+    /// Frames that failed to decode.
+    pub decode_failures: u64,
+    /// Messages that reached the network layer with an unresolved `DATA`
+    /// protocol.
+    pub unresolved_data: u64,
+    /// Channels opened (outbound connects + inbound accepts).
+    pub channels_opened: u64,
+    /// Channels closed.
+    pub channels_closed: u64,
+}
+
+impl MiddlewareStats {
+    /// Total messages sent over any transport.
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.sent.iter().sum()
+    }
+
+    /// Total messages received from the wire.
+    #[must_use]
+    pub fn total_received(&self) -> u64 {
+        self.received.iter().sum()
+    }
+}
+
+/// A cloneable handle to a component's live statistics.
+pub type StatsHandle = Arc<Mutex<MiddlewareStats>>;
+
+/// Events flowing from the transport callbacks into the component.
+#[derive(Debug, Clone)]
+pub enum NetEvent {
+    /// An outbound connection finished its handshake.
+    Connected(ConnectionId),
+    /// An inbound connection was accepted.
+    Accepted(Connection),
+    /// Stream bytes arrived.
+    Data(ConnectionId, Bytes),
+    /// Send-buffer space became available.
+    Writable(ConnectionId),
+    /// A connection ended.
+    Closed(ConnectionId, CloseReason),
+    /// A UDP datagram arrived.
+    Datagram(Endpoint, Bytes),
+}
+
+/// Forwards transport callbacks into the component's self-port.
+struct ConnForwarder {
+    events: SelfRef<NetEvent>,
+}
+
+impl StreamEvents for ConnForwarder {
+    fn on_connected(&self, conn: &Connection) {
+        self.events.push(NetEvent::Connected(conn.id()));
+    }
+
+    fn on_data(&self, conn: &Connection, data: Bytes) {
+        self.events.push(NetEvent::Data(conn.id(), data));
+    }
+
+    fn on_writable(&self, conn: &Connection) {
+        self.events.push(NetEvent::Writable(conn.id()));
+    }
+
+    fn on_closed(&self, conn: &Connection, reason: CloseReason) {
+        self.events.push(NetEvent::Closed(conn.id(), reason));
+    }
+}
+
+struct AcceptForwarder {
+    events: SelfRef<NetEvent>,
+}
+
+impl StreamAccept for AcceptForwarder {
+    fn on_accept(&self, conn: &Connection) -> Arc<dyn StreamEvents> {
+        self.events.push(NetEvent::Accepted(conn.clone()));
+        Arc::new(ConnForwarder {
+            events: self.events.clone(),
+        })
+    }
+}
+
+struct UdpForwarder {
+    events: SelfRef<NetEvent>,
+}
+
+impl UdpEvents for UdpForwarder {
+    fn on_datagram(&self, _socket: &UdpSocket, src: Endpoint, data: Bytes) {
+        self.events.push(NetEvent::Datagram(src, data));
+    }
+}
+
+/// Key of a transport channel: remote socket plus stream transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ChannelKey {
+    remote: Endpoint,
+    transport: Transport,
+}
+
+struct OutFrame {
+    bytes: Bytes,
+    written: usize,
+    notify: Option<NotifyToken>,
+}
+
+struct ChannelState {
+    conn: Option<Connection>,
+    established: bool,
+    pending: VecDeque<OutFrame>,
+    /// Payload bytes fully handed to the transport so far.
+    written_total: u64,
+    /// Notification tokens waiting for the transport to acknowledge the
+    /// frame's final byte: `(written_total at frame end, token)`.
+    awaiting_ack: VecDeque<(u64, NotifyToken)>,
+    decoder: FrameDecoder,
+    last_activity: kmsg_netsim::time::SimTime,
+}
+
+impl ChannelState {
+    fn new() -> Self {
+        ChannelState {
+            conn: None,
+            established: false,
+            pending: VecDeque::new(),
+            written_total: 0,
+            awaiting_ack: VecDeque::new(),
+            decoder: FrameDecoder::new(),
+            last_activity: kmsg_netsim::time::SimTime::ZERO,
+        }
+    }
+}
+
+/// The network component. Create with [`create_network`].
+pub struct NetworkComponent {
+    /// Kompics' network port.
+    pub port: ProvidedPort<NetworkPort>,
+    /// Transport callback events.
+    pub events: SelfPort<NetEvent>,
+    net: Network,
+    cfg: NetworkConfig,
+    self_events: Option<SelfRef<NetEvent>>,
+    channels: HashMap<ChannelKey, ChannelState>,
+    conn_index: HashMap<ConnectionId, ChannelKey>,
+    udp: Option<UdpSocket>,
+    listeners: Vec<Box<dyn std::any::Any + Send>>,
+    stats: StatsHandle,
+}
+
+impl std::fmt::Debug for NetworkComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkComponent")
+            .field("addr", &self.cfg.addr)
+            .field("channels", &self.channels.len())
+            .finish()
+    }
+}
+
+impl NetworkComponent {
+    /// Builds the component state; prefer [`create_network`], which also
+    /// binds the listeners.
+    #[must_use]
+    pub fn new(net: Network, cfg: NetworkConfig) -> Self {
+        NetworkComponent {
+            port: ProvidedPort::new(),
+            events: SelfPort::new(),
+            net,
+            cfg,
+            self_events: None,
+            channels: HashMap::new(),
+            conn_index: HashMap::new(),
+            udp: None,
+            listeners: Vec::new(),
+            stats: Arc::new(Mutex::new(MiddlewareStats::default())),
+        }
+    }
+
+    /// The live statistics handle.
+    #[must_use]
+    pub fn stats(&self) -> StatsHandle {
+        self.stats.clone()
+    }
+
+    /// The listen address.
+    #[must_use]
+    pub fn address(&self) -> NetAddress {
+        self.cfg.addr
+    }
+
+    fn notify(&self, token: Option<NotifyToken>, status: DeliveryStatus) {
+        if let Some(token) = token {
+            self.port.trigger(NetIndication::NotifyResp(token, status));
+        }
+    }
+
+    fn fail(&self, token: Option<NotifyToken>, error: SendError) {
+        self.stats.lock().send_failures += 1;
+        self.notify(token, DeliveryStatus::Failed(error));
+    }
+
+    // --- outbound -------------------------------------------------------
+
+    fn handle_send(&mut self, token: Option<NotifyToken>, mut msg: NetMessage) {
+        let dst = *msg.header().destination();
+        // Same-socket delivery: virtual nodes (or self-sends) are reflected
+        // without serialisation (§III-B).
+        if dst.as_socket() == self.cfg.addr.as_socket() {
+            self.stats.lock().local_reflections += 1;
+            self.port.trigger(NetIndication::Msg(msg));
+            self.notify(token, DeliveryStatus::DeliveredLocally);
+            return;
+        }
+        let mut proto = msg.header().protocol();
+        if proto == Transport::Data {
+            self.stats.lock().unresolved_data += 1;
+            match self.cfg.data_fallback {
+                Some(fallback) => {
+                    proto = fallback;
+                    if let NetHeader::Data(h) = msg.header_mut() {
+                        h.selected = Some(fallback);
+                    }
+                }
+                None => {
+                    self.fail(token, SendError::UnresolvedDataProtocol);
+                    return;
+                }
+            }
+        }
+        let encoded = match encode_frame(&msg, self.cfg.compression) {
+            Ok(f) => f,
+            Err(_) => {
+                self.fail(token, SendError::Serialisation);
+                return;
+            }
+        };
+        match proto {
+            Transport::Udp => self.send_udp(token, dst, encoded),
+            Transport::Tcp | Transport::Udt => self.send_stream(token, proto, dst, encoded),
+            Transport::Data => unreachable!("resolved above"),
+        }
+    }
+
+    fn send_udp(&mut self, token: Option<NotifyToken>, dst: NetAddress, frame: Bytes) {
+        if frame.len() > MAX_DATAGRAM {
+            self.fail(token, SendError::TooLargeForUdp);
+            return;
+        }
+        let Some(udp) = &self.udp else {
+            self.fail(token, SendError::Unreachable);
+            return;
+        };
+        let len = frame.len() as u64;
+        match udp.send_to(dst.as_socket(), frame) {
+            Ok(()) => {
+                let mut stats = self.stats.lock();
+                stats.sent[Transport::Udp.to_byte() as usize] += 1;
+                stats.bytes_out += len;
+                drop(stats);
+                self.notify(token, DeliveryStatus::Sent);
+            }
+            Err(_) => self.fail(token, SendError::TooLargeForUdp),
+        }
+    }
+
+    fn send_stream(
+        &mut self,
+        token: Option<NotifyToken>,
+        proto: Transport,
+        dst: NetAddress,
+        frame: Bytes,
+    ) {
+        let key = ChannelKey {
+            remote: dst.as_socket(),
+            transport: proto,
+        };
+        if !self.channels.contains_key(&key) {
+            if let Err(e) = self.open_channel(key) {
+                let _ = e;
+                self.fail(token, SendError::Unreachable);
+                return;
+            }
+        }
+        let now = self.net.sim().now();
+        let channel = self.channels.get_mut(&key).expect("channel just ensured");
+        channel.pending.push_back(OutFrame {
+            bytes: frame,
+            written: 0,
+            notify: token,
+        });
+        channel.last_activity = now;
+        if channel.established {
+            self.drain_channel(key);
+        }
+    }
+
+    fn open_channel(&mut self, key: ChannelKey) -> Result<(), BindError> {
+        let events = self
+            .self_events
+            .clone()
+            .expect("NetworkComponent used before create_network() wiring");
+        let handler = Arc::new(ConnForwarder { events });
+        let node = self.cfg.addr.node();
+        let conn = match key.transport {
+            Transport::Tcp => Connection::Tcp(TcpConn::connect(
+                &self.net,
+                node,
+                key.remote,
+                self.cfg.tcp.clone(),
+                handler,
+            )?),
+            Transport::Udt => Connection::Udt(UdtConn::connect(
+                &self.net,
+                node,
+                key.remote,
+                self.cfg.udt.clone(),
+                handler,
+            )?),
+            _ => unreachable!("stream channels are TCP or UDT"),
+        };
+        let mut state = ChannelState::new();
+        state.last_activity = self.net.sim().now();
+        self.conn_index.insert(conn.id(), key);
+        state.conn = Some(conn);
+        self.channels.insert(key, state);
+        self.stats.lock().channels_opened += 1;
+        Ok(())
+    }
+
+    fn drain_channel(&mut self, key: ChannelKey) {
+        let now = self.net.sim().now();
+        let Some(channel) = self.channels.get_mut(&key) else {
+            return;
+        };
+        let Some(conn) = channel.conn.clone() else {
+            return;
+        };
+        let mut bytes_out = 0u64;
+        let mut msgs_out = 0u64;
+        while let Some(front) = channel.pending.front_mut() {
+            let remaining = front.bytes.slice(front.written..);
+            let accepted = conn.send(remaining);
+            front.written += accepted;
+            channel.written_total += accepted as u64;
+            bytes_out += accepted as u64;
+            if front.written == front.bytes.len() {
+                let done = channel.pending.pop_front().expect("front exists");
+                msgs_out += 1;
+                if let Some(t) = done.notify {
+                    // Notified once the transport acknowledges delivery
+                    // of the frame's last byte.
+                    channel.awaiting_ack.push_back((channel.written_total, t));
+                }
+            } else {
+                break; // transport buffer full; resume on Writable
+            }
+        }
+        channel.last_activity = now;
+        {
+            let mut stats = self.stats.lock();
+            stats.bytes_out += bytes_out;
+            stats.sent[key.transport.to_byte() as usize] += msgs_out;
+        }
+        self.flush_acked(key);
+    }
+
+    /// Completes notification requests whose bytes the transport has
+    /// acknowledged.
+    fn flush_acked(&mut self, key: ChannelKey) {
+        let Some(channel) = self.channels.get_mut(&key) else {
+            return;
+        };
+        let Some(conn) = channel.conn.clone() else {
+            return;
+        };
+        let delivered = conn.acked_bytes();
+        let mut done = Vec::new();
+        while let Some(&(end, token)) = channel.awaiting_ack.front() {
+            if end <= delivered {
+                channel.awaiting_ack.pop_front();
+                done.push(token);
+            } else {
+                break;
+            }
+        }
+        for t in done {
+            self.notify(Some(t), DeliveryStatus::Sent);
+        }
+    }
+
+    // --- inbound --------------------------------------------------------
+
+    fn handle_event(&mut self, event: NetEvent) {
+        match event {
+            NetEvent::Connected(id) => {
+                if let Some(&key) = self.conn_index.get(&id) {
+                    if let Some(channel) = self.channels.get_mut(&key) {
+                        channel.established = true;
+                    }
+                    self.drain_channel(key);
+                }
+            }
+            NetEvent::Accepted(conn) => {
+                // Key the inbound channel by the peer's socket for now; it
+                // is re-keyed to the peer's listen address when the first
+                // message reveals it, so replies reuse this channel.
+                let key = ChannelKey {
+                    remote: conn.peer(),
+                    transport: match conn {
+                        Connection::Tcp(_) => Transport::Tcp,
+                        Connection::Udt(_) => Transport::Udt,
+                    },
+                };
+                let mut state = ChannelState::new();
+                state.established = true;
+                state.last_activity = self.net.sim().now();
+                self.conn_index.insert(conn.id(), key);
+                state.conn = Some(conn);
+                self.channels.insert(key, state);
+                self.stats.lock().channels_opened += 1;
+            }
+            NetEvent::Data(id, data) => {
+                self.stats.lock().bytes_in += data.len() as u64;
+                let Some(&key) = self.conn_index.get(&id) else {
+                    return;
+                };
+                let mut frames = Vec::new();
+                {
+                    let Some(channel) = self.channels.get_mut(&key) else {
+                        return;
+                    };
+                    channel.decoder.feed(&data);
+                    channel.last_activity = self.net.sim().now();
+                    loop {
+                        match channel.decoder.next_frame() {
+                            Ok(Some(frame)) => frames.push(frame),
+                            Ok(None) => break,
+                            Err(_) => {
+                                self.stats.lock().decode_failures += 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+                for body in frames {
+                    self.handle_frame(body, Some((id, key)));
+                }
+            }
+            NetEvent::Writable(id) => {
+                if let Some(&key) = self.conn_index.get(&id) {
+                    self.drain_channel(key);
+                }
+            }
+            NetEvent::Closed(id, _reason) => {
+                if let Some(key) = self.conn_index.remove(&id) {
+                    if let Some(mut channel) = self.channels.remove(&key) {
+                        // At-most-once: queued and unacknowledged messages
+                        // are lost; notify requesters.
+                        for frame in channel.pending.drain(..) {
+                            if let Some(t) = frame.notify {
+                                self.fail(Some(t), SendError::ChannelClosed);
+                            }
+                        }
+                        for (_, t) in channel.awaiting_ack.drain(..) {
+                            self.fail(Some(t), SendError::ChannelClosed);
+                        }
+                        self.stats.lock().channels_closed += 1;
+                    }
+                }
+            }
+            NetEvent::Datagram(_src, data) => {
+                self.stats.lock().bytes_in += data.len() as u64;
+                // Datagrams carry exactly one frame (with length prefix).
+                let mut dec = FrameDecoder::new();
+                dec.feed(&data);
+                match dec.next_frame() {
+                    Ok(Some(body)) => self.handle_frame(body, None),
+                    Ok(None) | Err(_) => {
+                        self.stats.lock().decode_failures += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, body: Bytes, via: Option<(ConnectionId, ChannelKey)>) {
+        let mut msg = match decode_frame_body(body) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.lock().decode_failures += 1;
+                return;
+            }
+        };
+        // Re-key inbound channels by the peer's listen address so that
+        // replies reuse the existing connection.
+        if let Some((conn_id, old_key)) = via {
+            let src_socket = msg.header().source().as_socket();
+            if old_key.remote != src_socket && src_socket.node == old_key.remote.node {
+                let new_key = ChannelKey {
+                    remote: src_socket,
+                    transport: old_key.transport,
+                };
+                if !self.channels.contains_key(&new_key) {
+                    if let Some(state) = self.channels.remove(&old_key) {
+                        self.channels.insert(new_key, state);
+                        self.conn_index.insert(conn_id, new_key);
+                    }
+                }
+            }
+        }
+        let my_socket = self.cfg.addr.as_socket();
+        if msg.header().destination().as_socket() == my_socket {
+            // Multi-hop: if a route names us as the next hop, advance it
+            // and forward unless we are the final destination.
+            if let NetHeader::Routing(rh) = msg.header_mut() {
+                if rh.route.as_ref().is_some_and(super::header::Route::has_next) {
+                    rh.advance();
+                    if msg.header().destination().as_socket() != my_socket {
+                        self.stats.lock().forwarded += 1;
+                        self.handle_send(None, msg);
+                        return;
+                    }
+                }
+            }
+            let proto = msg.header().protocol();
+            {
+                let mut stats = self.stats.lock();
+                let idx = proto.to_byte() as usize;
+                stats.received[idx.min(3)] += 1;
+            }
+            self.port.trigger(NetIndication::Msg(msg));
+        } else {
+            // Addressed elsewhere (e.g. source routing without an explicit
+            // hop entry for us): forward along.
+            self.stats.lock().forwarded += 1;
+            self.handle_send(None, msg);
+        }
+    }
+
+    fn sweep_idle_channels(&mut self, now: kmsg_netsim::time::SimTime) {
+        let Some(idle) = self.cfg.idle_timeout else {
+            return;
+        };
+        let expired: Vec<ChannelKey> = self
+            .channels
+            .iter()
+            .filter(|(_, c)| {
+                c.pending.is_empty() && now.duration_since(c.last_activity) >= idle
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for key in expired {
+            if let Some(channel) = self.channels.remove(&key) {
+                if let Some(conn) = channel.conn {
+                    self.conn_index.remove(&conn.id());
+                    conn.close();
+                }
+                self.stats.lock().channels_closed += 1;
+            }
+        }
+    }
+}
+
+impl ComponentDefinition for NetworkComponent {
+    fn execute(&mut self, ctx: &mut ComponentContext, max: usize) -> usize {
+        execute_ports!(self, ctx, max, [
+            provided port: NetworkPort,
+            selfport events: NetEvent,
+        ])
+    }
+
+    fn handle_control(&mut self, ctx: &mut ComponentContext, event: ControlEvent) {
+        if event == ControlEvent::Start && self.cfg.idle_timeout.is_some() {
+            ctx.schedule_periodic(
+                std::time::Duration::from_secs(1),
+                std::time::Duration::from_secs(1),
+            );
+        }
+    }
+
+    fn on_timeout(&mut self, ctx: &mut ComponentContext, _id: TimeoutId) {
+        self.sweep_idle_channels(ctx.now());
+    }
+}
+
+impl Provide<NetworkPort> for NetworkComponent {
+    fn handle(&mut self, _ctx: &mut ComponentContext, event: NetRequest) {
+        match event {
+            NetRequest::Msg(msg) => self.handle_send(None, msg),
+            NetRequest::NotifyReq(token, msg) => self.handle_send(Some(token), msg),
+        }
+    }
+}
+
+impl HandleSelf<NetEvent> for NetworkComponent {
+    fn handle_self(&mut self, _ctx: &mut ComponentContext, event: NetEvent) {
+        self.handle_event(event);
+    }
+}
+
+impl ProvideRef<NetworkPort> for NetworkComponent {
+    fn provided_port(&mut self) -> &mut ProvidedPort<NetworkPort> {
+        &mut self.port
+    }
+}
+
+/// Creates a [`NetworkComponent`], wires its transport callbacks, and
+/// binds its TCP/UDT listeners and UDP socket on the configured address.
+///
+/// The component still needs to be started via
+/// [`ComponentSystem::start`].
+///
+/// # Errors
+///
+/// Returns [`BindError`] if any of the three ports is already bound.
+pub fn create_network(
+    system: &ComponentSystem,
+    net: &Network,
+    cfg: NetworkConfig,
+) -> Result<ComponentRef<NetworkComponent>, BindError> {
+    let addr = cfg.addr;
+    let tcp_cfg = cfg.tcp.clone();
+    let udt_cfg = cfg.udt.clone();
+    let comp = system.create(|| NetworkComponent::new(net.clone(), cfg));
+    let events = comp.self_ref(|c| &mut c.events);
+
+    let tcp_listener = TcpListener::bind(
+        net,
+        addr.node(),
+        addr.port(),
+        tcp_cfg,
+        Arc::new(AcceptForwarder {
+            events: events.clone(),
+        }),
+    )?;
+    let udt_listener = UdtListener::bind(
+        net,
+        addr.node(),
+        addr.port(),
+        udt_cfg,
+        Arc::new(AcceptForwarder {
+            events: events.clone(),
+        }),
+    )?;
+    let udp_socket = UdpSocket::bind(
+        net,
+        addr.node(),
+        addr.port(),
+        Arc::new(UdpForwarder {
+            events: events.clone(),
+        }),
+    )?;
+
+    comp.on_definition(|c| {
+        c.self_events = Some(events.clone());
+        c.udp = Some(udp_socket);
+        c.listeners.push(Box::new(tcp_listener));
+        c.listeners.push(Box::new(udt_listener));
+    });
+    Ok(comp)
+}

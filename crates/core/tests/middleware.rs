@@ -1,0 +1,818 @@
+//! End-to-end middleware tests: two simulated hosts exchanging messages
+//! through full KompicsMessaging stacks (component system + network
+//! component + transports).
+
+use std::sync::Arc;
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use kmsg_component::prelude::*;
+use kmsg_core::prelude::*;
+use kmsg_netsim::engine::Sim;
+use kmsg_netsim::link::LinkConfig;
+use kmsg_netsim::network::Network;
+use kmsg_netsim::packet::NodeId;
+
+/// Test application: records everything, sends on command.
+struct Harness {
+    net: RequiredPort<NetworkPort>,
+    commands: SelfPort<NetRequest>,
+    received: Vec<NetMessage>,
+    notifies: Vec<(NotifyToken, DeliveryStatus)>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness {
+            net: RequiredPort::new(),
+            commands: SelfPort::new(),
+            received: Vec::new(),
+            notifies: Vec::new(),
+        }
+    }
+}
+
+impl ComponentDefinition for Harness {
+    fn execute(&mut self, ctx: &mut ComponentContext, max: usize) -> usize {
+        kmsg_component::execute_ports!(self, ctx, max, [
+            required net: NetworkPort,
+            selfport commands: NetRequest,
+        ])
+    }
+}
+
+impl Require<NetworkPort> for Harness {
+    fn handle(&mut self, _ctx: &mut ComponentContext, ev: NetIndication) {
+        match ev {
+            NetIndication::Msg(m) => self.received.push(m),
+            NetIndication::NotifyResp(t, s) => self.notifies.push((t, s)),
+        }
+    }
+}
+
+impl HandleSelf<NetRequest> for Harness {
+    fn handle_self(&mut self, _ctx: &mut ComponentContext, req: NetRequest) {
+        self.net.trigger(req);
+    }
+}
+
+impl RequireRef<NetworkPort> for Harness {
+    fn required_port(&mut self) -> &mut RequiredPort<NetworkPort> {
+        &mut self.net
+    }
+}
+
+struct Stack {
+    addr: NetAddress,
+    network: ComponentRef<NetworkComponent>,
+    app: ComponentRef<Harness>,
+    send: SelfRef<NetRequest>,
+    stats: StatsHandle,
+}
+
+struct World {
+    sim: Sim,
+    net: Network,
+    system: ComponentSystem,
+}
+
+fn world(link: LinkConfig, n_nodes: usize) -> (World, Vec<NodeId>) {
+    let sim = Sim::new(77);
+    let net = Network::new(&sim);
+    let nodes: Vec<NodeId> = (0..n_nodes).map(|i| net.add_node(format!("h{i}"))).collect();
+    for i in 0..n_nodes {
+        for j in 0..n_nodes {
+            if i != j {
+                let l = net.add_link(link.clone());
+                net.set_route(nodes[i], nodes[j], vec![l]);
+            }
+        }
+    }
+    let system = ComponentSystem::simulation(&sim, SystemConfig::default());
+    (World { sim, net, system }, nodes)
+}
+
+fn stack(w: &World, node: NodeId, port: u16) -> Stack {
+    let addr = NetAddress::new(node, port);
+    let network = create_network(&w.system, &w.net, NetworkConfig::new(addr)).expect("bind");
+    let stats = network.on_definition(|n| n.stats());
+    let app = w.system.create(Harness::new);
+    w.system.connect::<NetworkPort, _, _>(&network, &app);
+    let send = app.self_ref(|h| &mut h.commands);
+    w.system.start(&network);
+    w.system.start(&app);
+    Stack {
+        addr,
+        network,
+        app,
+        send,
+        stats,
+    }
+}
+
+fn default_link() -> LinkConfig {
+    LinkConfig::new(10e6, Duration::from_millis(5))
+}
+
+#[test]
+fn tcp_message_round_trip() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    a.send.push(NetRequest::Msg(NetMessage::new(
+        a.addr,
+        b.addr,
+        Transport::Tcp,
+        "hello over tcp".to_string(),
+    )));
+    w.sim.run_for(Duration::from_secs(2));
+    let got = b.app.on_definition(|h| h.received.clone());
+    assert_eq!(got.len(), 1);
+    assert!(got[0].is_from_wire());
+    assert_eq!(
+        got[0].try_deserialise::<String, String>().expect("payload"),
+        "hello over tcp"
+    );
+    assert_eq!(got[0].header().protocol(), Transport::Tcp);
+    assert_eq!(*got[0].header().source(), a.addr);
+}
+
+#[test]
+fn udt_message_round_trip() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    a.send.push(NetRequest::Msg(NetMessage::new(
+        a.addr,
+        b.addr,
+        Transport::Udt,
+        Bytes::from_static(b"udt payload"),
+    )));
+    w.sim.run_for(Duration::from_secs(2));
+    let got = b.app.on_definition(|h| h.received.clone());
+    assert_eq!(got.len(), 1);
+    assert_eq!(
+        got[0].try_deserialise::<Bytes, Bytes>().expect("payload"),
+        Bytes::from_static(b"udt payload")
+    );
+    assert_eq!(got[0].header().protocol(), Transport::Udt);
+}
+
+#[test]
+fn udp_message_round_trip_and_size_limit() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    a.send.push(NetRequest::NotifyReq(
+        NotifyToken::new(1),
+        NetMessage::new(a.addr, b.addr, Transport::Udp, "small".to_string()),
+    ));
+    // Oversized datagram must fail cleanly. Use incompressible data so the
+    // Snappy stand-in cannot shrink it below the limit.
+    let big: Vec<u8> = {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(3);
+        (0..70_000).map(|_| rng.gen()).collect()
+    };
+    a.send.push(NetRequest::NotifyReq(
+        NotifyToken::new(2),
+        NetMessage::new(a.addr, b.addr, Transport::Udp, Bytes::from(big)),
+    ));
+    w.sim.run_for(Duration::from_secs(2));
+    let got = b.app.on_definition(|h| h.received.len());
+    assert_eq!(got, 1, "only the small datagram arrives");
+    let notifies = a.app.on_definition(|h| h.notifies.clone());
+    assert_eq!(notifies.len(), 2);
+    assert_eq!(notifies[0].1, DeliveryStatus::Sent);
+    assert_eq!(
+        notifies[1].1,
+        DeliveryStatus::Failed(SendError::TooLargeForUdp)
+    );
+}
+
+#[test]
+fn notify_sent_for_stream_transports() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    for (id, proto) in [(1u64, Transport::Tcp), (2, Transport::Udt)] {
+        a.send.push(NetRequest::NotifyReq(
+            NotifyToken::new(id),
+            NetMessage::new(a.addr, b.addr, proto, format!("m{id}")),
+        ));
+    }
+    w.sim.run_for(Duration::from_secs(3));
+    let notifies = a.app.on_definition(|h| h.notifies.clone());
+    assert_eq!(notifies.len(), 2);
+    assert!(notifies.iter().all(|(_, s)| *s == DeliveryStatus::Sent));
+    assert_eq!(b.app.on_definition(|h| h.received.len()), 2);
+}
+
+#[test]
+fn fifo_order_per_transport() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    for i in 0..50u64 {
+        a.send.push(NetRequest::Msg(NetMessage::new(
+            a.addr,
+            b.addr,
+            Transport::Tcp,
+            i,
+        )));
+    }
+    w.sim.run_for(Duration::from_secs(3));
+    let got: Vec<u64> = b.app.on_definition(|h| {
+        h.received
+            .iter()
+            .map(|m| m.try_deserialise::<u64, u64>().expect("u64"))
+            .collect()
+    });
+    assert_eq!(got, (0..50).collect::<Vec<_>>(), "TCP preserves FIFO");
+}
+
+#[test]
+fn local_reflection_skips_serialisation() {
+    let (w, nodes) = world(default_link(), 1);
+    let a = stack(&w, nodes[0], 7000);
+    // Send to our own address (e.g. between vnodes of the same host).
+    a.send.push(NetRequest::NotifyReq(
+        NotifyToken::new(9),
+        NetMessage::new(a.addr, a.addr, Transport::Tcp, "loop".to_string()),
+    ));
+    w.sim.run_for(Duration::from_secs(1));
+    let got = a.app.on_definition(|h| h.received.clone());
+    assert_eq!(got.len(), 1);
+    assert!(!got[0].is_from_wire(), "reflected without serialisation");
+    assert_eq!(
+        a.app.on_definition(|h| h.notifies.clone())[0].1,
+        DeliveryStatus::DeliveredLocally
+    );
+    assert_eq!(a.stats.lock().local_reflections, 1);
+    assert_eq!(a.stats.lock().total_sent(), 0, "nothing hit the wire");
+}
+
+#[test]
+fn vnode_channels_route_by_id() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    // Host B: one network component, two vnode clients.
+    let b_addr = NetAddress::new(nodes[1], 7000);
+    let b_net = create_network(&w.system, &w.net, NetworkConfig::new(b_addr)).expect("bind");
+    let v1 = w.system.create(Harness::new);
+    let v2 = w.system.create(Harness::new);
+    connect_vnode(&w.system, &b_net, &v1, VnodeId(1));
+    connect_vnode(&w.system, &b_net, &v2, VnodeId(2));
+    w.system.start(&b_net);
+    w.system.start(&v1);
+    w.system.start(&v2);
+
+    for (vnode, text) in [(VnodeId(1), "to-v1"), (VnodeId(2), "to-v2")] {
+        a.send.push(NetRequest::Msg(NetMessage::new(
+            a.addr,
+            b_addr.with_vnode(vnode),
+            Transport::Tcp,
+            text.to_string(),
+        )));
+    }
+    w.sim.run_for(Duration::from_secs(2));
+    let got1 = v1.on_definition(|h| h.received.clone());
+    let got2 = v2.on_definition(|h| h.received.clone());
+    assert_eq!(got1.len(), 1);
+    assert_eq!(got2.len(), 1);
+    assert_eq!(
+        got1[0].try_deserialise::<String, String>().expect("p"),
+        "to-v1"
+    );
+    assert_eq!(
+        got2[0].try_deserialise::<String, String>().expect("p"),
+        "to-v2"
+    );
+}
+
+#[test]
+fn same_host_vnodes_reflect_locally() {
+    let (w, nodes) = world(default_link(), 1);
+    let addr = NetAddress::new(nodes[0], 7000);
+    let net_comp = create_network(&w.system, &w.net, NetworkConfig::new(addr)).expect("bind");
+    let stats = net_comp.on_definition(|n| n.stats());
+    let v1 = w.system.create(Harness::new);
+    let v2 = w.system.create(Harness::new);
+    connect_vnode(&w.system, &net_comp, &v1, VnodeId(1));
+    connect_vnode(&w.system, &net_comp, &v2, VnodeId(2));
+    let send1 = v1.self_ref(|h| &mut h.commands);
+    w.system.start(&net_comp);
+    w.system.start(&v1);
+    w.system.start(&v2);
+
+    send1.push(NetRequest::Msg(NetMessage::new(
+        addr.with_vnode(VnodeId(1)),
+        addr.with_vnode(VnodeId(2)),
+        Transport::Tcp,
+        "vnode-to-vnode".to_string(),
+    )));
+    w.sim.run_for(Duration::from_secs(1));
+    assert_eq!(v1.on_definition(|h| h.received.len()), 0, "selector filters v1");
+    let got = v2.on_definition(|h| h.received.clone());
+    assert_eq!(got.len(), 1);
+    assert!(!got[0].is_from_wire(), "same-host vnodes never serialise");
+    assert_eq!(stats.lock().local_reflections, 1);
+}
+
+#[test]
+fn multi_hop_routing_forwards() {
+    let (w, nodes) = world(default_link(), 3);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    let c = stack(&w, nodes[2], 7000);
+    // a -> (via b) -> c
+    let header = NetHeader::Routing(RoutingHeader::with_route(
+        BasicHeader::new(a.addr, c.addr, Transport::Tcp),
+        vec![b.addr],
+    ));
+    a.send.push(NetRequest::Msg(NetMessage::with_header(
+        header,
+        "through the middle".to_string(),
+    )));
+    w.sim.run_for(Duration::from_secs(3));
+    assert_eq!(b.app.on_definition(|h| h.received.len()), 0, "b only forwards");
+    assert_eq!(b.stats.lock().forwarded, 1);
+    let got = c.app.on_definition(|h| h.received.clone());
+    assert_eq!(got.len(), 1);
+    assert_eq!(
+        got[0].try_deserialise::<String, String>().expect("p"),
+        "through the middle"
+    );
+    // The source presented to c is the original sender: c can reply
+    // directly (the paper's replyTo motivation).
+    assert_eq!(*got[0].header().source(), a.addr);
+}
+
+#[test]
+fn reply_reuses_inbound_channel() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    a.send.push(NetRequest::Msg(NetMessage::new(
+        a.addr,
+        b.addr,
+        Transport::Tcp,
+        "ping".to_string(),
+    )));
+    w.sim.run_for(Duration::from_secs(1));
+    // B replies.
+    b.send.push(NetRequest::Msg(NetMessage::new(
+        b.addr,
+        a.addr,
+        Transport::Tcp,
+        "pong".to_string(),
+    )));
+    w.sim.run_for(Duration::from_secs(2));
+    assert_eq!(a.app.on_definition(|h| h.received.len()), 1);
+    // A opened one channel; B reused the accepted one (one open each).
+    assert_eq!(a.stats.lock().channels_opened, 1);
+    assert_eq!(b.stats.lock().channels_opened, 1, "reply must reuse the channel");
+}
+
+#[test]
+fn unresolved_data_falls_back_to_tcp() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    let msg = NetMessage::with_header(
+        NetHeader::Data(DataHeader::new(a.addr, b.addr)),
+        "raw data msg".to_string(),
+    );
+    a.send.push(NetRequest::Msg(msg));
+    w.sim.run_for(Duration::from_secs(2));
+    let got = b.app.on_definition(|h| h.received.clone());
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].header().protocol(), Transport::Tcp, "fallback applied");
+    assert_eq!(a.stats.lock().unresolved_data, 1);
+}
+
+#[test]
+fn per_message_transport_mixing_on_one_destination() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    // Alternate transports message by message — the paper's core ability.
+    for i in 0..30u64 {
+        let proto = match i % 3 {
+            0 => Transport::Tcp,
+            1 => Transport::Udt,
+            _ => Transport::Udp,
+        };
+        a.send.push(NetRequest::Msg(NetMessage::new(a.addr, b.addr, proto, i)));
+    }
+    w.sim.run_for(Duration::from_secs(5));
+    let by_proto = b.app.on_definition(|h| {
+        let mut counts = [0u32; 4];
+        for m in &h.received {
+            counts[m.header().protocol().to_byte() as usize] += 1;
+        }
+        counts
+    });
+    assert_eq!(by_proto[Transport::Tcp.to_byte() as usize], 10);
+    assert_eq!(by_proto[Transport::Udt.to_byte() as usize], 10);
+    assert_eq!(by_proto[Transport::Udp.to_byte() as usize], 10);
+    let stats = a.stats.lock();
+    assert_eq!(stats.sent[Transport::Tcp.to_byte() as usize], 10);
+    assert_eq!(stats.sent[Transport::Udt.to_byte() as usize], 10);
+}
+
+#[test]
+fn data_network_resolves_protocols() {
+    let (w, nodes) = world(default_link(), 2);
+    // Host A gets the full DataNetwork wrapper.
+    let a_addr = NetAddress::new(nodes[0], 7000);
+    let data_cfg = DataNetworkConfig {
+        prp: PrpKind::Static(Ratio::BALANCED),
+        psp: PspKind::Pattern(PatternKind::MinimalRest),
+        seeds: kmsg_netsim::rng::SeedSource::new(1),
+        ..DataNetworkConfig::default()
+    };
+    let dn = create_data_network(
+        &w.system,
+        &w.net,
+        NetworkConfig::new(a_addr),
+        data_cfg,
+    )
+    .expect("bind");
+    let app = w.system.create(Harness::new);
+    w.system.connect::<NetworkPort, _, _>(&dn.interceptor, &app);
+    let send = app.self_ref(|h| &mut h.commands);
+    dn.start(&w.system);
+    w.system.start(&app);
+
+    let b = stack(&w, nodes[1], 7000);
+    for i in 0..20u64 {
+        let msg = NetMessage::with_header(
+            NetHeader::Data(DataHeader::new(a_addr, b.addr)),
+            i,
+        );
+        send.push(NetRequest::Msg(msg));
+    }
+    w.sim.run_for(Duration::from_secs(5));
+    let (tcp, udt) = b.app.on_definition(|h| {
+        let tcp = h
+            .received
+            .iter()
+            .filter(|m| m.header().protocol() == Transport::Tcp)
+            .count();
+        let udt = h
+            .received
+            .iter()
+            .filter(|m| m.header().protocol() == Transport::Udt)
+            .count();
+        (tcp, udt)
+    });
+    assert_eq!(tcp + udt, 20, "all messages resolved and delivered");
+    assert_eq!(tcp, 10, "50-50 pattern splits evenly");
+    assert_eq!(udt, 10);
+}
+
+#[test]
+fn deterministic_replay() {
+    let run = || {
+        let (w, nodes) = world(default_link().random_loss(0.01), 2);
+        let a = stack(&w, nodes[0], 7000);
+        let b = stack(&w, nodes[1], 7000);
+        for i in 0..100u64 {
+            a.send.push(NetRequest::Msg(NetMessage::new(
+                a.addr,
+                b.addr,
+                Transport::Tcp,
+                i,
+            )));
+        }
+        w.sim.run_for(Duration::from_secs(5));
+        (
+            b.app.on_definition(|h| h.received.len()),
+            w.sim.events_executed(),
+            a.network.on_definition(|n| n.stats().lock().bytes_out),
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "same seed must reproduce exactly");
+    assert_eq!(first.0, 100);
+}
+
+#[test]
+fn short_outage_is_survived_by_tcp_retransmission() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    // Establish the channel.
+    a.send.push(NetRequest::Msg(NetMessage::new(a.addr, b.addr, Transport::Tcp, 0u64)));
+    w.sim.run_for(Duration::from_millis(200));
+    // 300 ms outage on the a->b direction.
+    let ab = w.net.route(nodes[0], nodes[1]).expect("route")[0];
+    w.net.link(ab).set_up(false);
+    for i in 1..=20u64 {
+        a.send.push(NetRequest::Msg(NetMessage::new(a.addr, b.addr, Transport::Tcp, i)));
+    }
+    w.sim.run_for(Duration::from_millis(300));
+    w.net.link(ab).set_up(true);
+    w.sim.run_for(Duration::from_secs(10));
+    let got: Vec<u64> = b.app.on_definition(|h| {
+        h.received
+            .iter()
+            .map(|m| m.try_deserialise::<u64, u64>().expect("u64"))
+            .collect()
+    });
+    assert_eq!(got, (0..=20).collect::<Vec<_>>(), "RTO must recover the burst");
+}
+
+#[test]
+fn permanent_outage_fails_notifies_at_most_once() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    a.send.push(NetRequest::NotifyReq(
+        NotifyToken::new(1),
+        NetMessage::new(a.addr, b.addr, Transport::Tcp, 1u64),
+    ));
+    w.sim.run_for(Duration::from_millis(500));
+    assert_eq!(b.app.on_definition(|h| h.received.len()), 1);
+    // Cut both directions permanently.
+    for (x, y) in [(nodes[0], nodes[1]), (nodes[1], nodes[0])] {
+        let l = w.net.route(x, y).expect("route")[0];
+        w.net.link(l).set_up(false);
+    }
+    for i in 2..=5u64 {
+        a.send.push(NetRequest::NotifyReq(
+            NotifyToken::new(i),
+            NetMessage::new(a.addr, b.addr, Transport::Tcp, i),
+        ));
+    }
+    // Long enough for TCP to give up (15 backoffs capped at 60 s would be
+    // huge; consecutive-timeout abort kicks in much earlier with min RTO).
+    w.sim.run_for(Duration::from_secs(900));
+    let notifies = a.app.on_definition(|h| h.notifies.clone());
+    let failed: Vec<u64> = notifies
+        .iter()
+        .filter(|(_, s)| matches!(s, DeliveryStatus::Failed(SendError::ChannelClosed)))
+        .map(|(t, _)| t.id)
+        .collect();
+    assert_eq!(failed, vec![2, 3, 4, 5], "queued messages fail on channel death");
+    assert_eq!(
+        b.app.on_definition(|h| h.received.len()),
+        1,
+        "at-most-once: messages 2..=5 are lost, not retried by the middleware"
+    );
+    assert_eq!(a.stats.lock().channels_closed, 1);
+}
+
+/// The middleware is executor-agnostic: the same components run under the
+/// thread-pool scheduler. Same-host vnode traffic needs no virtual time
+/// (reflection does not touch the simulated wire), so this exercises the
+/// real-threads path end to end.
+#[test]
+fn vnode_reflection_under_thread_pool_scheduler() {
+    let sim = Sim::new(1);
+    let net = Network::new(&sim);
+    let node = net.add_node("host");
+    let system = ComponentSystem::threaded(SystemConfig {
+        threads: 2,
+        ..SystemConfig::default()
+    });
+    let addr = NetAddress::new(node, 7000);
+    let net_comp = create_network(&system, &net, NetworkConfig::new(addr)).expect("bind");
+    let v1 = system.create(Harness::new);
+    let v2 = system.create(Harness::new);
+    connect_vnode(&system, &net_comp, &v1, VnodeId(1));
+    connect_vnode(&system, &net_comp, &v2, VnodeId(2));
+    let send = v1.self_ref(|h| &mut h.commands);
+    system.start(&net_comp);
+    system.start(&v1);
+    system.start(&v2);
+    for i in 0..50u64 {
+        send.push(NetRequest::Msg(NetMessage::new(
+            addr.with_vnode(VnodeId(1)),
+            addr.with_vnode(VnodeId(2)),
+            Transport::Tcp,
+            i,
+        )));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let n = v2.on_definition(|h| h.received.len());
+        if n == 50 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "threaded reflection stalled at {n}/50");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let got: Vec<u64> = v2.on_definition(|h| {
+        h.received
+            .iter()
+            .map(|m| m.try_deserialise::<u64, u64>().expect("u64"))
+            .collect()
+    });
+    assert_eq!(got, (0..50).collect::<Vec<_>>(), "FIFO reflection under threads");
+    assert!(got.iter().all(|_| true));
+    system.shutdown();
+}
+
+#[test]
+fn idle_channels_are_torn_down_when_configured() {
+    let (w, nodes) = world(default_link(), 2);
+    let a_addr = NetAddress::new(nodes[0], 7000);
+    let mut cfg = NetworkConfig::new(a_addr);
+    cfg.idle_timeout = Some(Duration::from_secs(3));
+    let a_net = create_network(&w.system, &w.net, cfg).expect("bind");
+    let a_stats = a_net.on_definition(|n| n.stats());
+    let a_app = w.system.create(Harness::new);
+    w.system.connect::<NetworkPort, _, _>(&a_net, &a_app);
+    let send = a_app.self_ref(|h| &mut h.commands);
+    w.system.start(&a_net);
+    w.system.start(&a_app);
+    let b = stack(&w, nodes[1], 7000);
+    send.push(NetRequest::Msg(NetMessage::new(
+        a_addr,
+        b.addr,
+        Transport::Tcp,
+        "hi".to_string(),
+    )));
+    w.sim.run_for(Duration::from_secs(1));
+    assert_eq!(a_stats.lock().channels_opened, 1);
+    assert_eq!(a_stats.lock().channels_closed, 0);
+    // Idle past the timeout: the sweeper closes the channel.
+    w.sim.run_for(Duration::from_secs(10));
+    assert_eq!(a_stats.lock().channels_closed, 1, "idle sweep must close");
+    // A new message transparently re-opens it.
+    send.push(NetRequest::Msg(NetMessage::new(
+        a_addr,
+        b.addr,
+        Transport::Tcp,
+        "again".to_string(),
+    )));
+    w.sim.run_for(Duration::from_secs(2));
+    assert_eq!(a_stats.lock().channels_opened, 2);
+    assert_eq!(b.app.on_definition(|h| h.received.len()), 2);
+}
+
+#[test]
+fn compression_reduces_wire_bytes_for_compressible_payloads() {
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    let compressible = Bytes::from(vec![9u8; 50_000]);
+    a.send.push(NetRequest::Msg(NetMessage::new(
+        a.addr,
+        b.addr,
+        Transport::Tcp,
+        compressible.clone(),
+    )));
+    w.sim.run_for(Duration::from_secs(2));
+    let wire = a.stats.lock().bytes_out;
+    assert!(
+        wire < 5_000,
+        "constant payload should compress away on the wire, got {wire}"
+    );
+    // The receiver still sees the original bytes.
+    let got = b.app.on_definition(|h| h.received.clone());
+    assert_eq!(
+        got[0].try_deserialise::<Bytes, Bytes>().expect("payload"),
+        compressible
+    );
+}
+
+/// §III-A: "A single instance of the component only allows one port to
+/// listen on per protocol, but if more are required another instance with
+/// a different configuration can simply be started."
+#[test]
+fn multiple_network_instances_per_host() {
+    let (w, nodes) = world(default_link(), 2);
+    // Two independent middleware instances on host 0, ports 7000 and 7100.
+    let a1 = stack(&w, nodes[0], 7000);
+    let a2 = stack(&w, nodes[0], 7100);
+    let b = stack(&w, nodes[1], 7000);
+    // Binding the same port twice must fail cleanly.
+    assert!(create_network(
+        &w.system,
+        &w.net,
+        NetworkConfig::new(NetAddress::new(nodes[0], 7000))
+    )
+    .is_err());
+    a1.send.push(NetRequest::Msg(NetMessage::new(
+        a1.addr,
+        b.addr,
+        Transport::Tcp,
+        "from-7000".to_string(),
+    )));
+    a2.send.push(NetRequest::Msg(NetMessage::new(
+        a2.addr,
+        b.addr,
+        Transport::Udt,
+        "from-7100".to_string(),
+    )));
+    w.sim.run_for(Duration::from_secs(2));
+    let got: Vec<(String, NetAddress)> = b.app.on_definition(|h| {
+        h.received
+            .iter()
+            .map(|m| {
+                (
+                    m.try_deserialise::<String, String>().expect("p"),
+                    *m.header().source(),
+                )
+            })
+            .collect()
+    });
+    assert_eq!(got.len(), 2);
+    assert!(got.iter().any(|(s, src)| s == "from-7000" && *src == a1.addr));
+    assert!(got.iter().any(|(s, src)| s == "from-7100" && *src == a2.addr));
+    // Each instance keeps its own channels and stats.
+    assert_eq!(a1.stats.lock().total_sent(), 1);
+    assert_eq!(a2.stats.lock().total_sent(), 1);
+    // Replies route back to the correct instance.
+    b.send.push(NetRequest::Msg(NetMessage::new(
+        b.addr,
+        a2.addr,
+        Transport::Tcp,
+        "to-7100".to_string(),
+    )));
+    w.sim.run_for(Duration::from_secs(2));
+    assert_eq!(a2.app.on_definition(|h| h.received.len()), 1);
+    assert_eq!(a1.app.on_definition(|h| h.received.len()), 0);
+}
+
+/// Notification responses carry the requesting vnode in their token, so
+/// vnode channels deliver them only to the requesting subtree.
+#[test]
+fn vnode_scoped_notify_routing() {
+    let (w, nodes) = world(default_link(), 2);
+    let b = stack(&w, nodes[1], 7000);
+    let a_addr = NetAddress::new(nodes[0], 7000);
+    let a_net = create_network(&w.system, &w.net, NetworkConfig::new(a_addr)).expect("bind");
+    let v1 = w.system.create(Harness::new);
+    let v2 = w.system.create(Harness::new);
+    connect_vnode(&w.system, &a_net, &v1, VnodeId(1));
+    connect_vnode(&w.system, &a_net, &v2, VnodeId(2));
+    let send1 = v1.self_ref(|h| &mut h.commands);
+    w.system.start(&a_net);
+    w.system.start(&v1);
+    w.system.start(&v2);
+
+    send1.push(NetRequest::NotifyReq(
+        NotifyToken::for_vnode(VnodeId(1), 42),
+        NetMessage::new(
+            a_addr.with_vnode(VnodeId(1)),
+            b.addr,
+            Transport::Tcp,
+            "scoped".to_string(),
+        ),
+    ));
+    w.sim.run_for(Duration::from_secs(2));
+    assert_eq!(b.app.on_definition(|h| h.received.len()), 1);
+    let n1 = v1.on_definition(|h| h.notifies.clone());
+    assert_eq!(n1.len(), 1, "requesting vnode gets the response");
+    assert_eq!(n1[0].0, NotifyToken::for_vnode(VnodeId(1), 42));
+    assert_eq!(n1[0].1, DeliveryStatus::Sent);
+    assert!(
+        v2.on_definition(|h| h.notifies.is_empty()),
+        "other vnodes must not see it"
+    );
+}
+
+/// Garbage on the wire must never take the middleware down — it is
+/// counted and dropped.
+#[test]
+fn garbage_datagrams_are_counted_not_fatal() {
+    use kmsg_netsim::udp::UdpSocket;
+
+    let (w, nodes) = world(default_link(), 2);
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    // A rogue UDP socket spews non-frame bytes at B's middleware port.
+    struct Mute;
+    impl kmsg_netsim::udp::UdpEvents for Mute {
+        fn on_datagram(
+            &self,
+            _s: &UdpSocket,
+            _src: kmsg_netsim::packet::Endpoint,
+            _d: Bytes,
+        ) {
+        }
+    }
+    let rogue = UdpSocket::bind(&w.net, nodes[0], 9999, Arc::new(Mute)).expect("bind");
+    for junk in [&b"not a frame"[..], &[0xff; 64][..], &[0, 0, 0, 200, 1][..]] {
+        rogue
+            .send_to(b.addr.as_socket(), Bytes::copy_from_slice(junk))
+            .expect("send");
+    }
+    w.sim.run_for(Duration::from_secs(1));
+    assert!(b.stats.lock().decode_failures >= 3, "junk counted");
+    // The stack still works afterwards.
+    a.send.push(NetRequest::Msg(NetMessage::new(
+        a.addr,
+        b.addr,
+        Transport::Udp,
+        "still alive".to_string(),
+    )));
+    w.sim.run_for(Duration::from_secs(1));
+    assert_eq!(b.app.on_definition(|h| h.received.len()), 1);
+}

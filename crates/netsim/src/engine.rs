@@ -1,0 +1,332 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Sim`] owns a virtual clock and a priority queue of scheduled events.
+//! Events are boxed closures executed in timestamp order; ties are broken by
+//! insertion order, which makes runs fully deterministic.
+//!
+//! The handle is cheaply cloneable and thread-safe so that simulated
+//! subsystems (links, transport endpoints, component schedulers) can capture
+//! it and schedule further events from inside event handlers. Events are
+//! executed *without* holding the engine lock, so re-entrant scheduling is
+//! always safe.
+//!
+//! # Examples
+//!
+//! ```
+//! use kmsg_netsim::engine::Sim;
+//! use kmsg_netsim::time::SimTime;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let sim = Sim::new(42);
+//! let hits = Arc::new(AtomicUsize::new(0));
+//! let h = hits.clone();
+//! sim.schedule_in(Duration::from_millis(10), move |sim| {
+//!     assert_eq!(sim.now(), SimTime::from_nanos(10_000_000));
+//!     h.fetch_add(1, Ordering::SeqCst);
+//! });
+//! sim.run_until(SimTime::from_secs(1));
+//! assert_eq!(hits.load(Ordering::SeqCst), 1);
+//! ```
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::rng::{RngStream, SeedSource};
+use crate::time::SimTime;
+
+/// A scheduled simulation event: a one-shot closure run at its timestamp.
+pub type EventFn = Box<dyn FnOnce(&Sim) + Send>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    run: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct SimInner {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Scheduled>,
+}
+
+/// Handle to the discrete-event simulation engine.
+///
+/// Cloning is cheap (an [`Arc`] bump); all clones refer to the same clock and
+/// event queue. See the [module documentation](self) for an example.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Arc<Mutex<SimInner>>,
+    seeds: SeedSource,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Sim")
+            .field("now", &inner.now)
+            .field("pending", &inner.queue.len())
+            .field("executed", &inner.executed)
+            .field("seed", &self.seeds.root())
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a new simulation with the given experiment seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            inner: Arc::new(Mutex::new(SimInner {
+                now: SimTime::ZERO,
+                seq: 0,
+                executed: 0,
+                queue: BinaryHeap::new(),
+            })),
+            seeds: SeedSource::new(seed),
+        }
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.inner.lock().now
+    }
+
+    /// The seed source for deriving named deterministic random streams.
+    #[must_use]
+    pub fn seeds(&self) -> SeedSource {
+        self.seeds
+    }
+
+    /// Derives the named deterministic random stream (see [`SeedSource`]).
+    #[must_use]
+    pub fn rng(&self, name: &str) -> RngStream {
+        self.seeds.stream(name)
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// Events scheduled in the past run "now": they are clamped to the
+    /// current clock value but still execute after already-queued events with
+    /// the same timestamp.
+    pub fn schedule_at<F>(&self, at: SimTime, f: F)
+    where
+        F: FnOnce(&Sim) + Send + 'static,
+    {
+        let mut inner = self.inner.lock();
+        let at = at.max(inner.now);
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(f),
+        });
+    }
+
+    /// Schedules `f` to run after `delay` of virtual time.
+    pub fn schedule_in<F>(&self, delay: Duration, f: F)
+    where
+        F: FnOnce(&Sim) + Send + 'static,
+    {
+        let at = self.now() + delay;
+        self.schedule_at(at, f);
+    }
+
+    /// Runs events until the queue is empty or the clock would pass
+    /// `horizon`. Returns the number of events executed.
+    ///
+    /// The clock is advanced to `horizon` on return (even if the queue
+    /// drained earlier), so back-to-back `run_until` calls observe a
+    /// monotonic clock.
+    pub fn run_until(&self, horizon: SimTime) -> u64 {
+        let mut count = 0;
+        loop {
+            let event = {
+                let mut inner = self.inner.lock();
+                match inner.queue.peek() {
+                    Some(head) if head.at <= horizon => {
+                        let ev = inner.queue.pop().expect("peeked event vanished");
+                        inner.now = ev.at;
+                        inner.executed += 1;
+                        ev
+                    }
+                    _ => {
+                        inner.now = inner.now.max(horizon);
+                        break;
+                    }
+                }
+            };
+            (event.run)(self);
+            count += 1;
+        }
+        count
+    }
+
+    /// Runs events for `span` of virtual time from the current clock value.
+    pub fn run_for(&self, span: Duration) -> u64 {
+        let horizon = self.now() + span;
+        self.run_until(horizon)
+    }
+
+    /// Runs until the event queue is fully drained.
+    ///
+    /// Careful with self-rescheduling events (e.g. periodic timers): this
+    /// will never return while any are alive. Returns the number of events
+    /// executed.
+    pub fn run_to_completion(&self) -> u64 {
+        let mut count = 0;
+        loop {
+            let before = count;
+            count += self.run_until(SimTime::MAX);
+            if count == before {
+                break;
+            }
+        }
+        count
+    }
+
+    /// Number of events executed so far.
+    #[must_use]
+    pub fn events_executed(&self) -> u64 {
+        self.inner.lock().executed
+    }
+
+    /// Number of events currently pending in the queue.
+    #[must_use]
+    pub fn events_pending(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_in_time_order() {
+        let sim = Sim::new(0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (i, ms) in [(0u32, 30u64), (1, 10), (2, 20)] {
+            let log = log.clone();
+            sim.schedule_in(Duration::from_millis(ms), move |_| log.lock().push(i));
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(*log.lock(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let sim = Sim::new(0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..10u32 {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_secs(1), move |_| log.lock().push(i));
+        }
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let sim = Sim::new(0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        sim.schedule_in(Duration::from_millis(1), move |sim| {
+            let h2 = h.clone();
+            sim.schedule_in(Duration::from_millis(1), move |_| {
+                h2.fetch_add(1, Ordering::SeqCst);
+            });
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn horizon_respected_and_clock_advances() {
+        let sim = Sim::new(0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        sim.schedule_in(Duration::from_secs(5), move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        let ran = sim.run_until(SimTime::from_secs(1));
+        assert_eq!(ran, 0);
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(sim.events_executed(), 1);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let sim = Sim::new(0);
+        sim.run_until(SimTime::from_secs(1));
+        let fired_at = Arc::new(Mutex::new(SimTime::ZERO));
+        let f = fired_at.clone();
+        sim.schedule_at(SimTime::ZERO, move |sim| *f.lock() = sim.now());
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(*fired_at.lock(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn run_for_advances_relative() {
+        let sim = Sim::new(0);
+        sim.run_for(Duration::from_secs(1));
+        sim.run_for(Duration::from_secs(1));
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn run_to_completion_drains() {
+        let sim = Sim::new(0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let h = hits.clone();
+            sim.schedule_in(Duration::from_secs(3600), move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let ran = sim.run_to_completion();
+        assert_eq!(ran, 5);
+        assert_eq!(hits.load(Ordering::SeqCst), 5);
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let sim = Sim::new(3);
+        assert!(format!("{sim:?}").contains("Sim"));
+    }
+}

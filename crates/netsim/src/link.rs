@@ -1,0 +1,472 @@
+//! Directed link model: bandwidth, propagation delay, drop-tail queue,
+//! random loss, and an optional UDP token-bucket policer.
+//!
+//! The queue is modelled analytically: a link keeps a `busy_until` horizon;
+//! a packet's transmission starts at `max(now, busy_until)` and the current
+//! queue occupancy in bytes is `(busy_until - now) · bandwidth`. This yields
+//! exact FIFO behaviour and correct bandwidth sharing between flows without
+//! per-byte events.
+//!
+//! The policer models Amazon EC2's UDP rate limiting (~10 MB/s), which the
+//! paper identifies as the reason UDT plateaus near 10 MB/s in all of its
+//! wide-area experiments.
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::Rng;
+
+use crate::engine::Sim;
+use crate::rng::RngStream;
+use crate::time::SimTime;
+
+/// Token-bucket configuration for UDP-family policing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicerConfig {
+    /// Sustained rate in bytes per second.
+    pub rate: f64,
+    /// Bucket depth in bytes.
+    pub burst: f64,
+}
+
+impl PolicerConfig {
+    /// EC2-like policer: 10 MB/s sustained, 1 MB burst.
+    #[must_use]
+    pub const fn ec2_udp() -> Self {
+        PolicerConfig {
+            rate: 10e6,
+            burst: 1e6,
+        }
+    }
+}
+
+/// Configuration of a directed link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkConfig {
+    /// Bandwidth in bytes per second.
+    pub bandwidth: f64,
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// Drop-tail queue capacity in bytes.
+    pub queue_capacity: usize,
+    /// Independent per-packet random loss probability in `[0, 1)`.
+    pub random_loss: f64,
+    /// Uniform random extra propagation delay in `[0, jitter]` per packet.
+    /// Non-zero jitter lets packets overtake each other (reordering), which
+    /// UDP exposes to the application while TCP/UDT repair it.
+    pub jitter: Duration,
+    /// Optional policer applied to UDP-family packets only.
+    pub udp_policer: Option<PolicerConfig>,
+}
+
+impl LinkConfig {
+    /// A clean link with the given bandwidth (bytes/s) and one-way delay.
+    ///
+    /// Queue capacity defaults to one bandwidth-delay product, but at least
+    /// 256 KiB (a typical shallow router buffer).
+    #[must_use]
+    pub fn new(bandwidth: f64, delay: Duration) -> Self {
+        let bdp = (bandwidth * delay.as_secs_f64()) as usize;
+        LinkConfig {
+            bandwidth,
+            delay,
+            queue_capacity: bdp.max(256 * 1024),
+            random_loss: 0.0,
+            jitter: Duration::ZERO,
+            udp_policer: None,
+        }
+    }
+
+    /// Sets the drop-tail queue capacity in bytes.
+    #[must_use]
+    pub fn queue_capacity(mut self, bytes: usize) -> Self {
+        self.queue_capacity = bytes;
+        self
+    }
+
+    /// Sets the independent per-packet random loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    #[must_use]
+    pub fn random_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability out of range");
+        self.random_loss = p;
+        self
+    }
+
+    /// Sets the per-packet jitter bound.
+    #[must_use]
+    pub fn jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Installs a UDP-family policer.
+    #[must_use]
+    pub fn udp_policer(mut self, cfg: PolicerConfig) -> Self {
+        self.udp_policer = Some(cfg);
+        self
+    }
+}
+
+/// Identifies a link within a [`Network`](crate::network::Network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub(crate) u32);
+
+/// Why a link refused a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Drop-tail queue overflow.
+    QueueOverflow,
+    /// Random (corruption) loss.
+    RandomLoss,
+    /// UDP policer out of tokens.
+    Policed,
+    /// The link is administratively down (outage injection).
+    LinkDown,
+}
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// The packet will arrive at the far end at this instant.
+    DeliverAt(SimTime),
+    /// The packet was dropped.
+    Dropped(DropReason),
+}
+
+#[derive(Debug)]
+struct TokenBucket {
+    cfg: PolicerConfig,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    fn allow(&mut self, now: SimTime, size: f64) -> bool {
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.cfg.rate).min(self.cfg.burst);
+        self.last = now;
+        if self.tokens >= size {
+            self.tokens -= size;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Cumulative counters of a link's activity.
+pub struct LinkStats {
+    /// Packets fully transmitted (scheduled for delivery).
+    pub delivered: u64,
+    /// Bytes fully transmitted.
+    pub delivered_bytes: u64,
+    /// Packets dropped by queue overflow.
+    pub dropped_queue: u64,
+    /// Packets dropped by random loss.
+    pub dropped_loss: u64,
+    /// Packets dropped by the UDP policer.
+    pub dropped_policer: u64,
+    /// Packets dropped while the link was down.
+    pub dropped_down: u64,
+}
+
+#[derive(Debug)]
+struct LinkInner {
+    cfg: LinkConfig,
+    up: bool,
+    busy_until: SimTime,
+    policer: Option<TokenBucket>,
+    rng: RngStream,
+    stats: LinkStats,
+}
+
+/// A directed link. Construct through
+/// [`Network::add_link`](crate::network::Network::add_link).
+#[derive(Debug)]
+pub struct Link {
+    inner: Mutex<LinkInner>,
+}
+
+impl Link {
+    pub(crate) fn new(cfg: LinkConfig, rng: RngStream) -> Self {
+        let policer = cfg.udp_policer.map(|p| TokenBucket {
+            cfg: p,
+            tokens: p.burst,
+            last: SimTime::ZERO,
+        });
+        Link {
+            inner: Mutex::new(LinkInner {
+                cfg,
+                up: true,
+                busy_until: SimTime::ZERO,
+                policer,
+                rng,
+                stats: LinkStats::default(),
+            }),
+        }
+    }
+
+    /// Offers a packet of `wire_size` bytes to the link at the current
+    /// simulation time and returns when (and whether) it arrives at the far
+    /// end.
+    pub fn transmit(&self, sim: &Sim, wire_size: usize, udp_family: bool) -> Verdict {
+        let now = sim.now();
+        let mut inner = self.inner.lock();
+        let size = wire_size as f64;
+
+        if !inner.up {
+            inner.stats.dropped_down += 1;
+            return Verdict::Dropped(DropReason::LinkDown);
+        }
+
+        if udp_family {
+            if let Some(bucket) = inner.policer.as_mut() {
+                if !bucket.allow(now, size) {
+                    inner.stats.dropped_policer += 1;
+                    return Verdict::Dropped(DropReason::Policed);
+                }
+            }
+        }
+
+        // Analytic drop-tail queue: occupancy is the backlog still to be
+        // serialized.
+        let backlog_secs = inner.busy_until.duration_since(now).as_secs_f64();
+        let backlog_bytes = backlog_secs * inner.cfg.bandwidth;
+        if backlog_bytes + size > inner.cfg.queue_capacity as f64 {
+            inner.stats.dropped_queue += 1;
+            return Verdict::Dropped(DropReason::QueueOverflow);
+        }
+
+        if inner.cfg.random_loss > 0.0 {
+            let roll: f64 = inner.rng.gen();
+            if roll < inner.cfg.random_loss {
+                // The packet still occupies the wire before being corrupted.
+                let tx = Duration::from_secs_f64(size / inner.cfg.bandwidth);
+                inner.busy_until = inner.busy_until.max(now) + tx;
+                inner.stats.dropped_loss += 1;
+                return Verdict::Dropped(DropReason::RandomLoss);
+            }
+        }
+
+        let tx = Duration::from_secs_f64(size / inner.cfg.bandwidth);
+        let start = inner.busy_until.max(now);
+        inner.busy_until = start + tx;
+        let mut arrival = inner.busy_until + inner.cfg.delay;
+        if !inner.cfg.jitter.is_zero() {
+            let j: f64 = inner.rng.gen();
+            arrival += Duration::from_secs_f64(j * inner.cfg.jitter.as_secs_f64());
+        }
+        inner.stats.delivered += 1;
+        inner.stats.delivered_bytes += wire_size as u64;
+        Verdict::DeliverAt(arrival)
+    }
+
+    /// Snapshot of the link's counters.
+    #[must_use]
+    pub fn stats(&self) -> LinkStats {
+        self.inner.lock().stats
+    }
+
+    /// The link's configuration.
+    #[must_use]
+    pub fn config(&self) -> LinkConfig {
+        self.inner.lock().cfg.clone()
+    }
+
+    /// Injects or clears an outage: while down, every offered packet is
+    /// dropped. Packets already serialized onto the wire still arrive
+    /// (the failure is at the link entry, like an unplugged uplink).
+    pub fn set_up(&self, up: bool) {
+        self.inner.lock().up = up;
+    }
+
+    /// Whether the link is currently up.
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        self.inner.lock().up
+    }
+
+    /// Current queue backlog in bytes (bytes not yet serialized).
+    #[must_use]
+    pub fn backlog_bytes(&self, now: SimTime) -> f64 {
+        let inner = self.inner.lock();
+        inner.busy_until.duration_since(now).as_secs_f64() * inner.cfg.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedSource;
+
+    impl SimTime {
+        fn from_millis_helper(ms: u64) -> SimTime {
+            SimTime::from_nanos(ms * 1_000_000)
+        }
+    }
+
+    fn mk(cfg: LinkConfig) -> (Sim, Link) {
+        let sim = Sim::new(1);
+        let link = Link::new(cfg, SeedSource::new(1).stream("test-link"));
+        (sim, link)
+    }
+
+    #[test]
+    fn serialization_plus_propagation() {
+        let (sim, link) = mk(LinkConfig::new(1e6, Duration::from_millis(10)));
+        // 1000 B at 1 MB/s = 1 ms serialization + 10 ms propagation.
+        match link.transmit(&sim, 1000, false) {
+            Verdict::DeliverAt(t) => {
+                assert_eq!(t, SimTime::from_nanos(11_000_000));
+            }
+            v => panic!("unexpected verdict {v:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_backlog_accumulates() {
+        let (sim, link) = mk(LinkConfig::new(1e6, Duration::ZERO).queue_capacity(10_000));
+        let t1 = match link.transmit(&sim, 1000, false) {
+            Verdict::DeliverAt(t) => t,
+            v => panic!("{v:?}"),
+        };
+        let t2 = match link.transmit(&sim, 1000, false) {
+            Verdict::DeliverAt(t) => t,
+            v => panic!("{v:?}"),
+        };
+        assert!(t2 > t1);
+        assert_eq!(t2.duration_since(t1), Duration::from_millis(1));
+        assert!(link.backlog_bytes(sim.now()) > 0.0);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let (sim, link) = mk(LinkConfig::new(1e6, Duration::ZERO).queue_capacity(2500));
+        assert!(matches!(link.transmit(&sim, 1000, false), Verdict::DeliverAt(_)));
+        assert!(matches!(link.transmit(&sim, 1000, false), Verdict::DeliverAt(_)));
+        // Third packet exceeds the 2500 B queue.
+        assert_eq!(
+            link.transmit(&sim, 1000, false),
+            Verdict::Dropped(DropReason::QueueOverflow)
+        );
+        assert_eq!(link.stats().dropped_queue, 1);
+        assert_eq!(link.stats().delivered, 2);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let (sim, link) = mk(LinkConfig::new(1e6, Duration::ZERO).queue_capacity(1500));
+        assert!(matches!(link.transmit(&sim, 1000, false), Verdict::DeliverAt(_)));
+        assert!(matches!(
+            link.transmit(&sim, 1000, false),
+            Verdict::Dropped(DropReason::QueueOverflow)
+        ));
+        sim.run_until(SimTime::from_secs(1)); // queue empties
+        assert!(matches!(link.transmit(&sim, 1000, false), Verdict::DeliverAt(_)));
+    }
+
+    #[test]
+    fn random_loss_rate_approximate() {
+        let (sim, link) = mk(LinkConfig::new(1e12, Duration::ZERO)
+            .queue_capacity(usize::MAX / 2)
+            .random_loss(0.1));
+        let mut dropped = 0;
+        for _ in 0..10_000 {
+            if matches!(link.transmit(&sim, 100, false), Verdict::Dropped(_)) {
+                dropped += 1;
+            }
+        }
+        assert!((800..1200).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn policer_only_hits_udp_family() {
+        let cfg = LinkConfig::new(100e6, Duration::ZERO)
+            .queue_capacity(usize::MAX / 2)
+            .udp_policer(PolicerConfig {
+                rate: 1000.0,
+                burst: 1000.0,
+            });
+        let (sim, link) = mk(cfg);
+        // Two 600 B UDP packets: first drains the bucket, second is policed.
+        assert!(matches!(link.transmit(&sim, 600, true), Verdict::DeliverAt(_)));
+        assert_eq!(
+            link.transmit(&sim, 600, true),
+            Verdict::Dropped(DropReason::Policed)
+        );
+        // TCP is unaffected.
+        assert!(matches!(link.transmit(&sim, 600, false), Verdict::DeliverAt(_)));
+        assert_eq!(link.stats().dropped_policer, 1);
+    }
+
+    #[test]
+    fn policer_refills_over_time() {
+        let cfg = LinkConfig::new(100e6, Duration::ZERO)
+            .queue_capacity(usize::MAX / 2)
+            .udp_policer(PolicerConfig {
+                rate: 1000.0,
+                burst: 1000.0,
+            });
+        let (sim, link) = mk(cfg);
+        assert!(matches!(link.transmit(&sim, 1000, true), Verdict::DeliverAt(_)));
+        assert!(matches!(link.transmit(&sim, 1000, true), Verdict::Dropped(_)));
+        sim.run_until(SimTime::from_secs(2));
+        assert!(matches!(link.transmit(&sim, 1000, true), Verdict::DeliverAt(_)));
+    }
+
+    #[test]
+    fn default_queue_is_at_least_bdp() {
+        let cfg = LinkConfig::new(125e6, Duration::from_millis(100));
+        assert!(cfg.queue_capacity >= 12_500_000);
+        let small = LinkConfig::new(1e6, Duration::from_millis(1));
+        assert_eq!(small.queue_capacity, 256 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_invalid_loss() {
+        let _ = LinkConfig::new(1e6, Duration::ZERO).random_loss(1.5);
+    }
+
+    #[test]
+    fn jitter_spreads_arrivals() {
+        let (sim, link) = mk(LinkConfig::new(1e9, Duration::from_millis(10))
+            .jitter(Duration::from_millis(5)));
+        let mut times = Vec::new();
+        for _ in 0..50 {
+            match link.transmit(&sim, 100, true) {
+                Verdict::DeliverAt(t) => times.push(t),
+                v => panic!("{v:?}"),
+            }
+        }
+        // With near-zero serialization but 0-5 ms jitter, arrivals must not
+        // be monotone (reordering is possible).
+        let sorted = times.windows(2).all(|w| w[0] <= w[1]);
+        assert!(!sorted, "jitter should reorder back-to-back packets");
+        let base = SimTime::from_millis_helper(10);
+        assert!(times.iter().all(|&t| t >= base));
+        assert!(times.iter().all(|&t| t <= base + Duration::from_millis(6)));
+    }
+
+    #[test]
+    fn outage_drops_everything_until_restored() {
+        let (sim, link) = mk(LinkConfig::new(1e6, Duration::ZERO));
+        assert!(link.is_up());
+        link.set_up(false);
+        assert!(!link.is_up());
+        for _ in 0..5 {
+            assert_eq!(
+                link.transmit(&sim, 100, false),
+                Verdict::Dropped(DropReason::LinkDown)
+            );
+        }
+        assert_eq!(link.stats().dropped_down, 5);
+        link.set_up(true);
+        assert!(matches!(link.transmit(&sim, 100, false), Verdict::DeliverAt(_)));
+    }
+}

@@ -1,0 +1,454 @@
+//! The network fabric: nodes, links, static routes, and packet dispatch.
+//!
+//! A [`Network`] connects simulated hosts through directed [`Link`]s. Routes
+//! are static per ordered node pair and may traverse multiple links (used
+//! both for multi-hop topologies and to chain per-endpoint processing links,
+//! e.g. the UDT receive-processing bottleneck).
+//!
+//! Transport endpooints register [`PacketSink`]s under a
+//! `(node, protocol, port)` binding; arriving packets are dispatched to the
+//! matching sink.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::Sim;
+use crate::link::{Link, LinkConfig, LinkId, Verdict};
+use crate::packet::{Endpoint, NodeId, Packet, WireProtocol};
+use crate::time::SimTime;
+use crate::trace::{PacketEvent, PacketRecord, PacketTracer};
+
+/// Receives packets addressed to a bound `(node, protocol, port)`.
+pub trait PacketSink: Send + Sync {
+    /// Called when a packet arrives. Runs inside a simulation event; the
+    /// implementation may send packets and schedule further events.
+    fn on_packet(&self, net: &Network, pkt: Packet);
+}
+
+/// Cumulative network-wide packet counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Packets accepted into the fabric.
+    pub sent: u64,
+    /// Packets delivered to a sink.
+    pub delivered: u64,
+    /// Packets dropped by links (any reason).
+    pub dropped_link: u64,
+    /// Packets dropped for lack of a route.
+    pub dropped_no_route: u64,
+    /// Packets that arrived at a port with no bound sink.
+    pub dropped_no_sink: u64,
+}
+
+struct NetInner {
+    node_names: Vec<String>,
+    links: Vec<Arc<Link>>,
+    routes: HashMap<(NodeId, NodeId), Vec<LinkId>>,
+    sinks: HashMap<(NodeId, WireProtocol, u16), Arc<dyn PacketSink>>,
+    next_ephemeral: HashMap<NodeId, u16>,
+    stats: NetworkStats,
+    tracer: Option<Arc<dyn PacketTracer>>,
+    /// Delay applied to node-local (same-node) deliveries with no route.
+    local_delay: std::time::Duration,
+}
+
+/// Handle to the simulated network fabric. Cheaply cloneable.
+#[derive(Clone)]
+pub struct Network {
+    sim: Sim,
+    inner: Arc<Mutex<NetInner>>,
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Network")
+            .field("nodes", &inner.node_names.len())
+            .field("links", &inner.links.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+/// Error returned when a port binding conflicts with an existing one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindError {
+    /// The conflicting binding.
+    pub endpoint: Endpoint,
+    /// The protocol of the attempted binding.
+    pub protocol: WireProtocol,
+}
+
+impl fmt::Display for BindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "port {} already bound for {:?} on {}",
+            self.endpoint.port, self.protocol, self.endpoint.node
+        )
+    }
+}
+
+impl std::error::Error for BindError {}
+
+impl Network {
+    /// Creates an empty network on the given simulation.
+    #[must_use]
+    pub fn new(sim: &Sim) -> Self {
+        Network {
+            sim: sim.clone(),
+            inner: Arc::new(Mutex::new(NetInner {
+                node_names: Vec::new(),
+                links: Vec::new(),
+                routes: HashMap::new(),
+                sinks: HashMap::new(),
+                next_ephemeral: HashMap::new(),
+                stats: NetworkStats::default(),
+                tracer: None,
+                local_delay: std::time::Duration::from_micros(5),
+            })),
+        }
+    }
+
+    /// The simulation this network runs on.
+    #[must_use]
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Adds a named host.
+    pub fn add_node(&self, name: impl Into<String>) -> NodeId {
+        let mut inner = self.inner.lock();
+        let id = NodeId(u32::try_from(inner.node_names.len()).expect("too many nodes"));
+        inner.node_names.push(name.into());
+        id
+    }
+
+    /// The name a node was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    #[must_use]
+    pub fn node_name(&self, node: NodeId) -> String {
+        self.inner.lock().node_names[node.0 as usize].clone()
+    }
+
+    /// Adds a directed link and returns its id.
+    pub fn add_link(&self, cfg: LinkConfig) -> LinkId {
+        let mut inner = self.inner.lock();
+        let id = LinkId(u32::try_from(inner.links.len()).expect("too many links"));
+        let rng = self.sim.seeds().stream(&format!("link-{}", id.0));
+        inner.links.push(Arc::new(Link::new(cfg, rng)));
+        id
+    }
+
+    /// Accesses a link by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link does not exist.
+    #[must_use]
+    pub fn link(&self, id: LinkId) -> Arc<Link> {
+        self.inner.lock().links[id.0 as usize].clone()
+    }
+
+    /// Installs the route for packets from `src` to `dst` as an ordered
+    /// sequence of links. Replaces any existing route.
+    pub fn set_route(&self, src: NodeId, dst: NodeId, links: Vec<LinkId>) {
+        self.inner.lock().routes.insert((src, dst), links);
+    }
+
+    /// Returns the currently installed route, if any.
+    #[must_use]
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        self.inner.lock().routes.get(&(src, dst)).cloned()
+    }
+
+    /// Convenience: connects two nodes with a symmetric pair of directed
+    /// links built from `cfg`, installing both routes. Returns
+    /// `(a_to_b, b_to_a)`.
+    pub fn connect_duplex(&self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (LinkId, LinkId) {
+        let ab = self.add_link(cfg.clone());
+        let ba = self.add_link(cfg);
+        self.set_route(a, b, vec![ab]);
+        self.set_route(b, a, vec![ba]);
+        (ab, ba)
+    }
+
+    /// Binds a packet sink to `(node, protocol, port)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindError`] if the binding is already taken.
+    pub fn bind(
+        &self,
+        node: NodeId,
+        protocol: WireProtocol,
+        port: u16,
+        sink: Arc<dyn PacketSink>,
+    ) -> Result<(), BindError> {
+        let mut inner = self.inner.lock();
+        let key = (node, protocol, port);
+        if inner.sinks.contains_key(&key) {
+            return Err(BindError {
+                endpoint: Endpoint::new(node, port),
+                protocol,
+            });
+        }
+        inner.sinks.insert(key, sink);
+        Ok(())
+    }
+
+    /// Removes a binding if present.
+    pub fn unbind(&self, node: NodeId, protocol: WireProtocol, port: u16) {
+        self.inner.lock().sinks.remove(&(node, protocol, port));
+    }
+
+    /// Allocates a fresh ephemeral port on `node` (49152 upward).
+    pub fn alloc_ephemeral_port(&self, node: NodeId) -> u16 {
+        let mut inner = self.inner.lock();
+        let next = inner.next_ephemeral.entry(node).or_insert(49152);
+        let port = *next;
+        *next = next.checked_add(1).expect("ephemeral port space exhausted");
+        port
+    }
+
+    /// Installs a packet tracer observing every send, drop and delivery.
+    pub fn set_tracer(&self, tracer: Arc<dyn PacketTracer>) {
+        self.inner.lock().tracer = Some(tracer);
+    }
+
+    fn trace(&self, pkt: &Packet, event: PacketEvent) {
+        let tracer = self.inner.lock().tracer.clone();
+        if let Some(tracer) = tracer {
+            tracer.record(PacketRecord {
+                time: self.sim.now(),
+                src: pkt.src,
+                dst: pkt.dst,
+                protocol: pkt.protocol,
+                wire_size: pkt.wire_size,
+                event,
+            });
+        }
+    }
+
+    /// Injects a packet into the fabric at the current simulation time.
+    ///
+    /// The packet follows the installed route hop by hop; a missing route is
+    /// tolerated only for same-node traffic, which is delivered after a
+    /// small loopback delay.
+    pub fn send_packet(&self, pkt: Packet) {
+        {
+            let mut inner = self.inner.lock();
+            inner.stats.sent += 1;
+        }
+        self.trace(&pkt, PacketEvent::Sent);
+        let route = self.route(pkt.src.node, pkt.dst.node);
+        match route {
+            Some(links) if !links.is_empty() => self.forward(pkt, links, 0),
+            Some(_) | None if pkt.src.node == pkt.dst.node => {
+                let delay = self.inner.lock().local_delay;
+                let net = self.clone();
+                self.sim.schedule_in(delay, move |_| net.deliver(pkt));
+            }
+            Some(_) => {
+                // Empty route between distinct nodes: treat as unrouted.
+                self.inner.lock().stats.dropped_no_route += 1;
+                self.trace(&pkt, PacketEvent::NoRoute);
+            }
+            None => {
+                self.inner.lock().stats.dropped_no_route += 1;
+                self.trace(&pkt, PacketEvent::NoRoute);
+            }
+        }
+    }
+
+    fn forward(&self, pkt: Packet, links: Vec<LinkId>, idx: usize) {
+        let link = self.inner.lock().links[links[idx].0 as usize].clone();
+        match link.transmit(&self.sim, pkt.wire_size, pkt.protocol.is_udp_family()) {
+            Verdict::DeliverAt(at) => {
+                let net = self.clone();
+                self.sim.schedule_at(at, move |_| {
+                    if idx + 1 < links.len() {
+                        net.forward(pkt, links, idx + 1);
+                    } else {
+                        net.deliver(pkt);
+                    }
+                });
+            }
+            Verdict::Dropped(reason) => {
+                self.inner.lock().stats.dropped_link += 1;
+                self.trace(&pkt, PacketEvent::Dropped(reason));
+            }
+        }
+    }
+
+    fn deliver(&self, pkt: Packet) {
+        let sink = {
+            let mut inner = self.inner.lock();
+            let key = (pkt.dst.node, pkt.protocol, pkt.dst.port);
+            let found = inner.sinks.get(&key).cloned();
+            match &found {
+                Some(_) => inner.stats.delivered += 1,
+                None => inner.stats.dropped_no_sink += 1,
+            }
+            found
+        };
+        match sink {
+            Some(sink) => {
+                self.trace(&pkt, PacketEvent::Delivered);
+                sink.on_packet(self, pkt);
+            }
+            None => self.trace(&pkt, PacketEvent::NoSink),
+        }
+    }
+
+    /// Snapshot of fabric-wide counters.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        self.inner.lock().stats
+    }
+
+    /// Current simulation time (convenience).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketBody;
+    use bytes::Bytes;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    struct Counter(AtomicUsize);
+    impl PacketSink for Counter {
+        fn on_packet(&self, _net: &Network, _pkt: Packet) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn udp_packet(src: Endpoint, dst: Endpoint) -> Packet {
+        Packet::new(src, dst, WireProtocol::Udp, 100, PacketBody::Udp(Bytes::from_static(b"x")))
+    }
+
+    fn two_nodes() -> (Sim, Network, NodeId, NodeId) {
+        let sim = Sim::new(7);
+        let net = Network::new(&sim);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect_duplex(a, b, LinkConfig::new(1e6, Duration::from_millis(5)));
+        (sim, net, a, b)
+    }
+
+    #[test]
+    fn delivers_over_route() {
+        let (sim, net, a, b) = two_nodes();
+        let sink = Arc::new(Counter(AtomicUsize::new(0)));
+        net.bind(b, WireProtocol::Udp, 80, sink.clone()).unwrap();
+        net.send_packet(udp_packet(Endpoint::new(a, 1000), Endpoint::new(b, 80)));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sink.0.load(Ordering::SeqCst), 1);
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn unbound_port_counts_no_sink() {
+        let (sim, net, a, b) = two_nodes();
+        net.send_packet(udp_packet(Endpoint::new(a, 1000), Endpoint::new(b, 81)));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(net.stats().dropped_no_sink, 1);
+    }
+
+    #[test]
+    fn missing_route_drops_cross_node() {
+        let sim = Sim::new(1);
+        let net = Network::new(&sim);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.send_packet(udp_packet(Endpoint::new(a, 1), Endpoint::new(b, 2)));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(net.stats().dropped_no_route, 1);
+    }
+
+    #[test]
+    fn same_node_loopback_without_route() {
+        let sim = Sim::new(1);
+        let net = Network::new(&sim);
+        let a = net.add_node("a");
+        let sink = Arc::new(Counter(AtomicUsize::new(0)));
+        net.bind(a, WireProtocol::Udp, 80, sink.clone()).unwrap();
+        net.send_packet(udp_packet(Endpoint::new(a, 1000), Endpoint::new(a, 80)));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sink.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn multi_hop_route_accumulates_delay() {
+        let sim = Sim::new(1);
+        let net = Network::new(&sim);
+        let a = net.add_node("a");
+        let m = net.add_node("m");
+        let b = net.add_node("b");
+        let l1 = net.add_link(LinkConfig::new(1e9, Duration::from_millis(10)));
+        let l2 = net.add_link(LinkConfig::new(1e9, Duration::from_millis(20)));
+        net.set_route(a, b, vec![l1, l2]);
+        let _ = m;
+        let sink = Arc::new(Counter(AtomicUsize::new(0)));
+        net.bind(b, WireProtocol::Udp, 80, sink.clone()).unwrap();
+        net.send_packet(udp_packet(Endpoint::new(a, 1), Endpoint::new(b, 80)));
+        // After 29 ms: not yet there.
+        sim.run_until(SimTime::from_nanos(29_000_000));
+        assert_eq!(sink.0.load(Ordering::SeqCst), 0);
+        sim.run_until(SimTime::from_nanos(31_000_000));
+        assert_eq!(sink.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let (_sim, net, _a, b) = two_nodes();
+        let sink = Arc::new(Counter(AtomicUsize::new(0)));
+        net.bind(b, WireProtocol::Udp, 80, sink.clone()).unwrap();
+        let err = net.bind(b, WireProtocol::Udp, 80, sink.clone()).unwrap_err();
+        assert_eq!(err.endpoint.port, 80);
+        assert!(err.to_string().contains("already bound"));
+        // Different protocol on the same port is fine.
+        net.bind(b, WireProtocol::Tcp, 80, sink).unwrap();
+    }
+
+    #[test]
+    fn unbind_then_rebind() {
+        let (_sim, net, _a, b) = two_nodes();
+        let sink = Arc::new(Counter(AtomicUsize::new(0)));
+        net.bind(b, WireProtocol::Udp, 80, sink.clone()).unwrap();
+        net.unbind(b, WireProtocol::Udp, 80);
+        net.bind(b, WireProtocol::Udp, 80, sink).unwrap();
+    }
+
+    #[test]
+    fn ephemeral_ports_unique_per_node() {
+        let (_sim, net, a, b) = two_nodes();
+        let p1 = net.alloc_ephemeral_port(a);
+        let p2 = net.alloc_ephemeral_port(a);
+        let p3 = net.alloc_ephemeral_port(b);
+        assert_ne!(p1, p2);
+        assert_eq!(p1, 49152);
+        assert_eq!(p3, 49152);
+    }
+
+    #[test]
+    fn node_names_round_trip() {
+        let sim = Sim::new(1);
+        let net = Network::new(&sim);
+        let a = net.add_node("alpha");
+        assert_eq!(net.node_name(a), "alpha");
+        assert_eq!(a.index(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Packet representation shared by all simulated transports.
+
+use bytes::Bytes;
+
+/// Identifies a simulated host within a [`Network`](crate::network::Network).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of this node.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a `NodeId` from [`NodeId::index`] — for deserialising
+    /// addresses. The caller is responsible for the index referring to a
+    /// node that exists in the target [`Network`](crate::network::Network).
+    #[must_use]
+    pub const fn from_index(index: u32) -> NodeId {
+        NodeId(index)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A (node, port) pair — the simulated analog of a socket address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Endpoint {
+    /// The host.
+    pub node: NodeId,
+    /// The port number on that host.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Creates an endpoint.
+    #[must_use]
+    pub const fn new(node: NodeId, port: u16) -> Self {
+        Endpoint { node, port }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// The on-the-wire protocol family of a packet.
+///
+/// UDT packets travel as UDP on the wire, which matters for links that
+/// police UDP traffic (Amazon EC2 rate-limits UDP to roughly 10 MB/s, which
+/// the paper identifies as the cap on UDT throughput in its experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireProtocol {
+    /// TCP segment.
+    Tcp,
+    /// Plain UDP datagram.
+    Udp,
+    /// UDT packet (UDP on the wire).
+    Udt,
+}
+
+impl WireProtocol {
+    /// Whether this packet is part of the UDP family for policing purposes.
+    #[must_use]
+    pub const fn is_udp_family(self) -> bool {
+        matches!(self, WireProtocol::Udp | WireProtocol::Udt)
+    }
+}
+
+/// Per-packet per-hop overhead in bytes (IP + transport headers,
+/// approximated as a constant).
+pub const HEADER_OVERHEAD: usize = 40;
+
+/// Transport-specific packet payloads.
+#[derive(Debug, Clone)]
+pub enum PacketBody {
+    /// A TCP segment (see [`crate::tcp`]).
+    Tcp(crate::tcp::TcpSegment),
+    /// A UDP datagram payload.
+    Udp(Bytes),
+    /// A UDT packet (see [`crate::udt`]).
+    Udt(crate::udt::UdtPacket),
+}
+
+/// A packet in flight between two endpoints.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Source endpoint.
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+    /// Wire protocol family.
+    pub protocol: WireProtocol,
+    /// Total size on the wire, including header overhead.
+    pub wire_size: usize,
+    /// Transport payload.
+    pub body: PacketBody,
+}
+
+impl Packet {
+    /// Builds a packet, deriving `wire_size` from the payload length plus
+    /// [`HEADER_OVERHEAD`].
+    #[must_use]
+    pub fn new(
+        src: Endpoint,
+        dst: Endpoint,
+        protocol: WireProtocol,
+        payload_len: usize,
+        body: PacketBody,
+    ) -> Self {
+        Packet {
+            src,
+            dst,
+            protocol,
+            wire_size: payload_len + HEADER_OVERHEAD,
+            body,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_family_classification() {
+        assert!(WireProtocol::Udp.is_udp_family());
+        assert!(WireProtocol::Udt.is_udp_family());
+        assert!(!WireProtocol::Tcp.is_udp_family());
+    }
+
+    #[test]
+    fn wire_size_includes_overhead() {
+        let a = Endpoint::new(NodeId(0), 1);
+        let b = Endpoint::new(NodeId(1), 2);
+        let p = Packet::new(a, b, WireProtocol::Udp, 100, PacketBody::Udp(Bytes::new()));
+        assert_eq!(p.wire_size, 100 + HEADER_OVERHEAD);
+    }
+
+    #[test]
+    fn endpoint_display() {
+        let e = Endpoint::new(NodeId(3), 8080);
+        assert_eq!(e.to_string(), "n3:8080");
+    }
+}

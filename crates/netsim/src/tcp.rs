@@ -1,0 +1,1470 @@
+//! Packet-level simulated TCP (Reno with NewReno partial-ACK recovery).
+//!
+//! Implements the mechanisms responsible for TCP's behaviour in the paper's
+//! experiments: slow start and AIMD congestion avoidance, fast
+//! retransmit/fast recovery on triple duplicate ACKs, retransmission
+//! timeouts with exponential backoff (RFC 6298-style RTT estimation via
+//! timestamp echo), receiver flow control (advertised window bounded by the
+//! receive buffer), and delayed ACKs.
+//!
+//! On clean low-RTT paths TCP fills the link; on high bandwidth-delay
+//! product paths with random loss its average window follows the well-known
+//! `MSS/(RTT·√p)` law, producing the sharp throughput drop-off of the
+//! paper's Figure 9.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvents};
+use crate::network::{BindError, Network, PacketSink};
+use crate::packet::{Endpoint, NodeId, Packet, PacketBody, WireProtocol};
+use crate::time::SimTime;
+
+/// TCP tuning parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcpConfig {
+    /// Maximum segment payload in bytes.
+    pub mss: usize,
+    /// Send buffer capacity (unsent + unacknowledged bytes).
+    pub send_buf: usize,
+    /// Receive buffer capacity; bounds the advertised window.
+    pub recv_buf: usize,
+    /// Initial congestion window, in segments.
+    pub initial_cwnd: usize,
+    /// Lower bound on the retransmission timeout.
+    pub min_rto: Duration,
+    /// Upper bound on the retransmission timeout.
+    pub max_rto: Duration,
+    /// SYN retransmission attempts before the connect fails.
+    pub syn_retries: u32,
+    /// Delayed-ACK timer.
+    pub delack_timeout: Duration,
+    /// Fire `on_writable` on every acknowledgement that frees send-buffer
+    /// space (not just when a blocked writer can resume). Lets middleware
+    /// track delivery progress for acked-based notifications.
+    pub ack_progress_events: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1448,
+            send_buf: 4 * 1024 * 1024,
+            recv_buf: 4 * 1024 * 1024,
+            initial_cwnd: 10,
+            min_rto: Duration::from_millis(200),
+            max_rto: Duration::from_secs(60),
+            syn_retries: 6,
+            delack_timeout: Duration::from_millis(40),
+            ack_progress_events: true,
+        }
+    }
+}
+
+/// TCP segment control flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegFlags {
+    /// Synchronize: part of the connection handshake.
+    pub syn: bool,
+    /// The `ack` field is valid.
+    pub ack: bool,
+    /// Sender has no more data.
+    pub fin: bool,
+}
+
+/// A TCP segment on the wire.
+#[derive(Debug, Clone)]
+pub struct TcpSegment {
+    /// First sequence number covered by this segment.
+    pub seq: u64,
+    /// Cumulative acknowledgement (next expected byte).
+    pub ack: u64,
+    /// Control flags.
+    pub flags: SegFlags,
+    /// Advertised receive window in bytes.
+    pub wnd: u64,
+    /// Sender timestamp (for RTT estimation via echo).
+    pub ts: SimTime,
+    /// Echoed peer timestamp.
+    pub ts_echo: Option<SimTime>,
+    /// SACK-style hole report: `[from, to)` byte ranges the receiver is
+    /// missing below its highest out-of-order data (capped at 16 ranges).
+    pub holes: Vec<(u64, u64)>,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// Sequence space consumed by this segment (payload + SYN/FIN flags).
+    #[must_use]
+    pub fn seq_len(&self) -> u64 {
+        self.payload.len() as u64
+            + u64::from(self.flags.syn)
+            + u64::from(self.flags.fin)
+    }
+}
+
+/// Per-connection counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpConnStats {
+    /// Payload bytes accepted from the application.
+    pub bytes_sent: u64,
+    /// Payload bytes acknowledged by the peer.
+    pub bytes_acked: u64,
+    /// Payload bytes delivered to the application.
+    pub bytes_delivered: u64,
+    /// Segments retransmitted (fast retransmit or timeout).
+    pub retransmits: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Fast-recovery episodes entered.
+    pub fast_recoveries: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    SynSent,
+    SynRcvd,
+    Established,
+    Closed,
+}
+
+#[derive(Debug)]
+struct SentSeg {
+    payload: Bytes,
+    syn: bool,
+    fin: bool,
+    retransmitted: bool,
+    last_rexmit: Option<SimTime>,
+}
+
+struct TcpInner {
+    cfg: TcpConfig,
+    state: State,
+    local: Endpoint,
+    peer: Endpoint,
+
+    // --- send side ---
+    snd_una: u64,
+    snd_nxt: u64,
+    send_q: VecDeque<Bytes>,
+    send_q_bytes: usize,
+    unacked_bytes: usize,
+    sent: BTreeMap<u64, SentSeg>,
+    lost: BTreeSet<u64>,
+    cwnd: f64,
+    ssthresh: f64,
+    peer_wnd: u64,
+    in_recovery: bool,
+    recover: u64,
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: Duration,
+    rto_gen: u64,
+    rto_armed: bool,
+    consecutive_timeouts: u32,
+    syn_retries_left: u32,
+    fin_queued: bool,
+    fin_sent: bool,
+    fin_seq: u64,
+    fin_acked: bool,
+
+    // --- receive side ---
+    rcv_nxt: u64,
+    ooo: BTreeMap<u64, Bytes>,
+    ooo_bytes: usize,
+    ts_recent: Option<SimTime>,
+    delack_pending: u32,
+    delack_gen: u64,
+    peer_fin_seq: Option<u64>,
+    fin_received: bool,
+
+    // --- notifications ---
+    app_blocked: bool,
+    connected_notified: bool,
+    closed_notified: bool,
+
+    stats: TcpConnStats,
+}
+
+impl TcpInner {
+    fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    fn my_wnd(&self) -> u64 {
+        (self.cfg.recv_buf.saturating_sub(self.ooo_bytes)) as u64
+    }
+
+    fn send_window(&self) -> u64 {
+        (self.cwnd as u64).min(self.peer_wnd)
+    }
+}
+
+enum Action {
+    Send(TcpSegment),
+    Deliver(Bytes),
+    Connected,
+    Writable,
+    Closed(CloseReason),
+    ArmRto(Duration, u64),
+    ArmDelack(Duration, u64),
+}
+
+pub(crate) struct TcpShared {
+    id: ConnectionId,
+    net: Network,
+    inner: Mutex<TcpInner>,
+    events: Mutex<Option<Arc<dyn StreamEvents>>>,
+}
+
+/// A simulated TCP connection handle. Cloning refers to the same connection.
+#[derive(Clone)]
+pub struct TcpConn {
+    shared: Arc<TcpShared>,
+}
+
+impl fmt::Debug for TcpConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.shared.inner.lock();
+        f.debug_struct("TcpConn")
+            .field("id", &self.shared.id)
+            .field("local", &inner.local)
+            .field("peer", &inner.peer)
+            .field("state", &inner.state)
+            .finish()
+    }
+}
+
+impl TcpShared {
+    fn new_inner(cfg: TcpConfig, state: State, local: Endpoint, peer: Endpoint) -> TcpInner {
+        let cwnd = (cfg.initial_cwnd * cfg.mss) as f64;
+        TcpInner {
+            state,
+            local,
+            peer,
+            snd_una: 0,
+            snd_nxt: 0,
+            send_q: VecDeque::new(),
+            send_q_bytes: 0,
+            unacked_bytes: 0,
+            sent: BTreeMap::new(),
+            lost: BTreeSet::new(),
+            cwnd,
+            ssthresh: f64::INFINITY,
+            peer_wnd: cfg.recv_buf as u64,
+            in_recovery: false,
+            recover: 0,
+            srtt: None,
+            rttvar: 0.0,
+            rto: Duration::from_secs(1),
+            rto_gen: 0,
+            rto_armed: false,
+            consecutive_timeouts: 0,
+            syn_retries_left: cfg.syn_retries,
+            fin_queued: false,
+            fin_sent: false,
+            fin_seq: 0,
+            fin_acked: false,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            ooo_bytes: 0,
+            ts_recent: None,
+            delack_pending: 0,
+            delack_gen: 0,
+            peer_fin_seq: None,
+            fin_received: false,
+            app_blocked: false,
+            connected_notified: false,
+            closed_notified: false,
+            stats: TcpConnStats::default(),
+            cfg,
+        }
+    }
+
+    /// Runs `f` under the connection lock, then performs the produced
+    /// actions without holding it.
+    fn process<F>(self: &Arc<Self>, f: F)
+    where
+        F: FnOnce(&mut TcpInner, SimTime, &mut Vec<Action>),
+    {
+        let now = self.net.sim().now();
+        let mut actions = Vec::new();
+        {
+            let mut inner = self.inner.lock();
+            f(&mut inner, now, &mut actions);
+        }
+        self.perform(actions);
+    }
+
+    fn perform(self: &Arc<Self>, actions: Vec<Action>) {
+        let events = self.events.lock().clone();
+        let conn = Connection::Tcp(TcpConn {
+            shared: self.clone(),
+        });
+        for action in actions {
+            match action {
+                Action::Send(seg) => {
+                    let (src, dst) = {
+                        let inner = self.inner.lock();
+                        (inner.local, inner.peer)
+                    };
+                    let payload_len = seg.payload.len();
+                    let pkt =
+                        Packet::new(src, dst, WireProtocol::Tcp, payload_len, PacketBody::Tcp(seg));
+                    self.net.send_packet(pkt);
+                }
+                Action::Deliver(data) => {
+                    if let Some(ev) = &events {
+                        ev.on_data(&conn, data);
+                    }
+                }
+                Action::Connected => {
+                    if let Some(ev) = &events {
+                        ev.on_connected(&conn);
+                    }
+                }
+                Action::Writable => {
+                    if let Some(ev) = &events {
+                        ev.on_writable(&conn);
+                    }
+                }
+                Action::Closed(reason) => {
+                    if let Some(ev) = &events {
+                        ev.on_closed(&conn, reason);
+                    }
+                }
+                Action::ArmRto(delay, gen) => {
+                    let weak = Arc::downgrade(self);
+                    self.net.sim().schedule_in(delay, move |_| {
+                        if let Some(shared) = weak.upgrade() {
+                            shared.on_rto_fired(gen);
+                        }
+                    });
+                }
+                Action::ArmDelack(delay, gen) => {
+                    let weak = Arc::downgrade(self);
+                    self.net.sim().schedule_in(delay, move |_| {
+                        if let Some(shared) = weak.upgrade() {
+                            shared.on_delack_fired(gen);
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    fn on_rto_fired(self: &Arc<Self>, gen: u64) {
+        self.process(|inner, now, out| {
+            if gen != inner.rto_gen || !inner.rto_armed || inner.state == State::Closed {
+                return;
+            }
+            inner.rto_armed = false;
+            if inner.flight() == 0 {
+                return;
+            }
+            inner.stats.timeouts += 1;
+            inner.consecutive_timeouts += 1;
+            if inner.state == State::SynSent || inner.state == State::SynRcvd {
+                if inner.syn_retries_left == 0 {
+                    inner.state = State::Closed;
+                    if !inner.closed_notified {
+                        inner.closed_notified = true;
+                        out.push(Action::Closed(CloseReason::Timeout));
+                    }
+                    return;
+                }
+                inner.syn_retries_left -= 1;
+            } else if inner.consecutive_timeouts > 15 {
+                // The peer is unreachable; give up like a real stack would.
+                inner.state = State::Closed;
+                if !inner.closed_notified {
+                    inner.closed_notified = true;
+                    out.push(Action::Closed(CloseReason::Timeout));
+                }
+                return;
+            }
+            // RFC 5681 timeout response.
+            let flight = inner.flight() as f64;
+            inner.ssthresh = (flight / 2.0).max((2 * inner.cfg.mss) as f64);
+            inner.cwnd = inner.cfg.mss as f64;
+            inner.in_recovery = true;
+            inner.recover = inner.snd_nxt;
+            inner.rto = (inner.rto * 2).min(inner.cfg.max_rto);
+            if inner.state == State::Established {
+                // Go-back-N style: everything unacknowledged is presumed
+                // lost; retransmission is paced by returning ACKs.
+                let unacked: Vec<u64> = inner.sent.keys().copied().collect();
+                inner.lost.extend(unacked);
+                resend_lost(inner, now, out);
+            } else {
+                retransmit_first(inner, now, out);
+            }
+            arm_rto(inner, out);
+        });
+    }
+
+    fn on_delack_fired(self: &Arc<Self>, gen: u64) {
+        self.process(|inner, now, out| {
+            if gen != inner.delack_gen || inner.delack_pending == 0 || inner.state == State::Closed
+            {
+                return;
+            }
+            inner.delack_pending = 0;
+            inner.delack_gen += 1;
+            out.push(Action::Send(pure_ack(inner, now)));
+        });
+    }
+
+    fn handle_segment(self: &Arc<Self>, seg: TcpSegment) {
+        self.process(|inner, now, out| match inner.state {
+            State::Closed => {
+                // Re-acknowledge a retransmitted FIN so the peer can finish.
+                if seg.flags.fin {
+                    out.push(Action::Send(pure_ack(inner, now)));
+                }
+            }
+            State::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack >= 1 {
+                    complete_handshake_active(inner, &seg, now, out);
+                }
+            }
+            State::SynRcvd => {
+                if seg.flags.ack && seg.ack >= 1 {
+                    inner.state = State::Established;
+                    inner.snd_una = seg.ack.max(inner.snd_una);
+                    inner.sent.retain(|seq, _| *seq >= inner.snd_una);
+                    inner.peer_wnd = seg.wnd;
+                    disarm_rto(inner);
+                    if !inner.connected_notified {
+                        inner.connected_notified = true;
+                        out.push(Action::Connected);
+                    }
+                    // The final handshake ACK may carry data.
+                    if !seg.payload.is_empty() || seg.flags.fin {
+                        receive_data(inner, &seg, now, out);
+                    }
+                    try_send(inner, now, out);
+                } else if seg.flags.syn && !seg.flags.ack {
+                    // Duplicate SYN: retransmit SYN-ACK.
+                    retransmit_first(inner, now, out);
+                }
+            }
+            State::Established => {
+                if seg.flags.ack {
+                    process_ack(inner, &seg, now, out);
+                    resend_lost(inner, now, out);
+                }
+                if !seg.payload.is_empty() || seg.flags.fin {
+                    receive_data(inner, &seg, now, out);
+                }
+                try_send(inner, now, out);
+                maybe_close(inner, out);
+            }
+        });
+    }
+}
+
+fn complete_handshake_active(
+    inner: &mut TcpInner,
+    seg: &TcpSegment,
+    now: SimTime,
+    out: &mut Vec<Action>,
+) {
+    inner.state = State::Established;
+    inner.snd_una = seg.ack;
+    inner.sent.clear();
+    inner.rcv_nxt = seg.seq + 1;
+    inner.peer_wnd = seg.wnd;
+    inner.ts_recent = Some(seg.ts);
+    if let Some(echo) = seg.ts_echo {
+        update_rtt(inner, now, echo);
+    }
+    disarm_rto(inner);
+    inner.connected_notified = true;
+    out.push(Action::Connected);
+    // Pure ACK completes the handshake; data may follow immediately.
+    out.push(Action::Send(pure_ack(inner, now)));
+    try_send(inner, now, out);
+}
+
+fn update_rtt(inner: &mut TcpInner, now: SimTime, echo: SimTime) {
+    let sample = now.duration_since(echo).as_secs_f64();
+    match inner.srtt {
+        None => {
+            inner.srtt = Some(sample);
+            inner.rttvar = sample / 2.0;
+        }
+        Some(srtt) => {
+            let err = (sample - srtt).abs();
+            inner.rttvar = 0.75 * inner.rttvar + 0.25 * err;
+            inner.srtt = Some(0.875 * srtt + 0.125 * sample);
+        }
+    }
+    let rto = inner.srtt.unwrap_or(1.0) + 4.0 * inner.rttvar;
+    inner.rto = Duration::from_secs_f64(rto)
+        .max(inner.cfg.min_rto)
+        .min(inner.cfg.max_rto);
+}
+
+fn pure_ack(inner: &TcpInner, now: SimTime) -> TcpSegment {
+    TcpSegment {
+        seq: inner.snd_nxt,
+        ack: inner.rcv_nxt,
+        flags: SegFlags {
+            syn: false,
+            ack: true,
+            fin: false,
+        },
+        wnd: inner.my_wnd(),
+        ts: now,
+        ts_echo: inner.ts_recent,
+        holes: compute_holes(inner),
+        payload: Bytes::new(),
+    }
+}
+
+/// The receiver's missing `[from, to)` byte ranges below its highest
+/// buffered out-of-order segment (capped at 16).
+fn compute_holes(inner: &TcpInner) -> Vec<(u64, u64)> {
+    let mut holes = Vec::new();
+    let mut expect = inner.rcv_nxt;
+    for (&seq, data) in &inner.ooo {
+        if seq > expect {
+            holes.push((expect, seq));
+            if holes.len() == 16 {
+                break;
+            }
+        }
+        expect = expect.max(seq + data.len() as u64);
+    }
+    holes
+}
+
+fn arm_rto(inner: &mut TcpInner, out: &mut Vec<Action>) {
+    inner.rto_gen += 1;
+    inner.rto_armed = true;
+    out.push(Action::ArmRto(inner.rto, inner.rto_gen));
+}
+
+fn disarm_rto(inner: &mut TcpInner) {
+    inner.rto_gen += 1;
+    inner.rto_armed = false;
+}
+
+fn retransmit_first(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
+    let wnd = inner.my_wnd();
+    let rcv_nxt = inner.rcv_nxt;
+    let ts_echo = inner.ts_recent;
+    let is_syn_sent = inner.state == State::SynSent;
+    let Some((&seq, seg)) = inner.sent.iter_mut().next() else {
+        return;
+    };
+    seg.retransmitted = true;
+    let segment = TcpSegment {
+        seq,
+        ack: rcv_nxt,
+        flags: SegFlags {
+            syn: seg.syn,
+            ack: !is_syn_sent,
+            fin: seg.fin,
+        },
+        wnd,
+        ts: now,
+        ts_echo,
+        holes: Vec::new(),
+        payload: seg.payload.clone(),
+    };
+    inner.stats.retransmits += 1;
+    out.push(Action::Send(segment));
+}
+
+fn process_ack(inner: &mut TcpInner, seg: &TcpSegment, now: SimTime, out: &mut Vec<Action>) {
+    inner.peer_wnd = seg.wnd;
+    note_holes(inner, &seg.holes, now);
+    if seg.ack > inner.snd_una {
+        let newly = seg.ack - inner.snd_una;
+        inner.snd_una = seg.ack;
+        inner.consecutive_timeouts = 0;
+        // Remove fully acknowledged segments.
+        let still_unacked = inner.sent.split_off(&seg.ack);
+        let acked: u64 = inner
+            .sent
+            .values()
+            .map(|s| s.payload.len() as u64)
+            .sum();
+        inner.sent = still_unacked;
+        inner.unacked_bytes = inner.unacked_bytes.saturating_sub(acked as usize);
+        inner.stats.bytes_acked += acked;
+        if let Some(echo) = seg.ts_echo {
+            update_rtt(inner, now, echo);
+        }
+        if inner.fin_sent && seg.ack > inner.fin_seq {
+            inner.fin_acked = true;
+        }
+        // Drop stale loss markers.
+        let cleared: Vec<u64> = inner.lost.range(..seg.ack).copied().collect();
+        for s in cleared {
+            inner.lost.remove(&s);
+        }
+        if inner.in_recovery && inner.snd_una >= inner.recover {
+            inner.in_recovery = false;
+            inner.cwnd = inner.cwnd.min(inner.ssthresh.max((2 * inner.cfg.mss) as f64));
+        }
+        let mss = inner.cfg.mss as f64;
+        if inner.cwnd < inner.ssthresh {
+            // Slow start with appropriate byte counting.
+            inner.cwnd += (newly as f64).min(mss);
+        } else {
+            inner.cwnd += mss * mss / inner.cwnd;
+        }
+        if inner.flight() > 0 {
+            arm_rto(inner, out);
+        } else {
+            disarm_rto(inner);
+        }
+        if inner.cfg.ack_progress_events && acked > 0 {
+            inner.app_blocked = false;
+            out.push(Action::Writable);
+        } else {
+            maybe_writable(inner, out);
+        }
+    }
+}
+
+/// Registers receiver-reported holes as lost segments (once per ~RTT per
+/// segment) and reacts with one multiplicative decrease per loss episode.
+fn note_holes(inner: &mut TcpInner, holes: &[(u64, u64)], now: SimTime) {
+    if holes.is_empty() {
+        return;
+    }
+    let srtt = inner.srtt.unwrap_or(0.1);
+    let reinsert_after = Duration::from_secs_f64((srtt * 1.2).max(0.005));
+    let mut fresh_loss = false;
+    for &(from, to) in holes {
+        let seqs: Vec<u64> = inner.sent.range(from..to).map(|(s, _)| *s).collect();
+        for seq in seqs {
+            if seq < inner.snd_una || inner.lost.contains(&seq) {
+                continue;
+            }
+            let seg = inner.sent.get(&seq).expect("seq from range");
+            let eligible = seg
+                .last_rexmit
+                .is_none_or(|t| now.duration_since(t) >= reinsert_after);
+            if eligible {
+                inner.lost.insert(seq);
+                if seg.last_rexmit.is_none() {
+                    fresh_loss = true;
+                }
+            }
+        }
+    }
+    if fresh_loss && !inner.in_recovery {
+        inner.in_recovery = true;
+        inner.recover = inner.snd_nxt;
+        let flight = inner.flight() as f64;
+        inner.ssthresh = (flight / 2.0).max((2 * inner.cfg.mss) as f64);
+        inner.cwnd = inner.ssthresh;
+        inner.stats.fast_recoveries += 1;
+    }
+}
+
+/// Retransmits queued-lost segments, paced by the congestion window: each
+/// invocation (i.e. each returning ACK) may resend up to `cwnd/4` worth of
+/// segments, so recovery self-clocks and ramps with slow start after an RTO.
+fn resend_lost(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
+    let budget = ((inner.cwnd / inner.cfg.mss as f64 / 4.0) as usize).max(1);
+    let mut sent = 0;
+    while sent < budget {
+        let Some(&seq) = inner.lost.iter().next() else {
+            break;
+        };
+        inner.lost.remove(&seq);
+        if seq < inner.snd_una {
+            continue;
+        }
+        let wnd = inner.my_wnd();
+        let rcv_nxt = inner.rcv_nxt;
+        let ts_echo = inner.ts_recent;
+        let Some(seg) = inner.sent.get_mut(&seq) else {
+            continue;
+        };
+        seg.retransmitted = true;
+        seg.last_rexmit = Some(now);
+        let segment = TcpSegment {
+            seq,
+            ack: rcv_nxt,
+            flags: SegFlags {
+                syn: seg.syn,
+                ack: true,
+                fin: seg.fin,
+            },
+            wnd,
+            ts: now,
+            ts_echo,
+            holes: Vec::new(),
+            payload: seg.payload.clone(),
+        };
+        inner.stats.retransmits += 1;
+        out.push(Action::Send(segment));
+        sent += 1;
+    }
+}
+
+fn receive_data(inner: &mut TcpInner, seg: &TcpSegment, now: SimTime, out: &mut Vec<Action>) {
+    if seg.flags.fin {
+        inner.peer_fin_seq = Some(seg.seq + seg.payload.len() as u64);
+    }
+    let seq = seg.seq;
+    if !seg.payload.is_empty() {
+        if seq == inner.rcv_nxt {
+            inner.ts_recent = Some(seg.ts);
+            inner.rcv_nxt += seg.payload.len() as u64;
+            inner.stats.bytes_delivered += seg.payload.len() as u64;
+            out.push(Action::Deliver(seg.payload.clone()));
+            // Drain any now-contiguous out-of-order data.
+            while let Some(entry) = inner.ooo.first_entry() {
+                if *entry.key() != inner.rcv_nxt {
+                    break;
+                }
+                let data = entry.remove();
+                inner.ooo_bytes -= data.len();
+                inner.rcv_nxt += data.len() as u64;
+                inner.stats.bytes_delivered += data.len() as u64;
+                out.push(Action::Deliver(data));
+            }
+            schedule_ack(inner, now, out, false);
+        } else if seq > inner.rcv_nxt {
+            // Out of order: buffer if the receive buffer allows, dup-ACK
+            // immediately either way.
+            if !inner.ooo.contains_key(&seq)
+                && inner.ooo_bytes + seg.payload.len() <= inner.cfg.recv_buf
+            {
+                inner.ooo_bytes += seg.payload.len();
+                inner.ooo.insert(seq, seg.payload.clone());
+            }
+            schedule_ack(inner, now, out, true);
+        } else {
+            // Duplicate of already-delivered data.
+            schedule_ack(inner, now, out, true);
+        }
+    }
+    if let Some(fin_seq) = inner.peer_fin_seq {
+        if inner.rcv_nxt == fin_seq && !inner.fin_received {
+            inner.fin_received = true;
+            inner.rcv_nxt += 1;
+            schedule_ack(inner, now, out, true);
+        }
+    }
+}
+
+fn schedule_ack(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>, immediate: bool) {
+    if immediate || inner.delack_pending >= 1 {
+        inner.delack_pending = 0;
+        inner.delack_gen += 1;
+        out.push(Action::Send(pure_ack(inner, now)));
+    } else {
+        inner.delack_pending += 1;
+        inner.delack_gen += 1;
+        out.push(Action::ArmDelack(inner.cfg.delack_timeout, inner.delack_gen));
+    }
+}
+
+fn try_send(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
+    if inner.state != State::Established {
+        return;
+    }
+    loop {
+        let wnd = inner.send_window();
+        if inner.flight() >= wnd {
+            break;
+        }
+        if inner.send_q.is_empty() {
+            if inner.fin_queued && !inner.fin_sent {
+                let seg = TcpSegment {
+                    seq: inner.snd_nxt,
+                    ack: inner.rcv_nxt,
+                    flags: SegFlags {
+                        syn: false,
+                        ack: true,
+                        fin: true,
+                    },
+                    wnd: inner.my_wnd(),
+                    ts: now,
+                    ts_echo: inner.ts_recent,
+                    holes: Vec::new(),
+                    payload: Bytes::new(),
+                };
+                inner.fin_seq = inner.snd_nxt;
+                inner.fin_sent = true;
+                inner.sent.insert(
+                    inner.snd_nxt,
+                    SentSeg {
+                        payload: Bytes::new(),
+                        syn: false,
+                        fin: true,
+                        retransmitted: false,
+                        last_rexmit: None,
+                    },
+                );
+                inner.snd_nxt += 1;
+                out.push(Action::Send(seg));
+            }
+            break;
+        }
+        let head = inner.send_q.front_mut().expect("non-empty send queue");
+        let take = head.len().min(inner.cfg.mss);
+        let payload = head.split_to(take);
+        if head.is_empty() {
+            inner.send_q.pop_front();
+        }
+        inner.send_q_bytes -= take;
+        let seg = TcpSegment {
+            seq: inner.snd_nxt,
+            ack: inner.rcv_nxt,
+            flags: SegFlags {
+                syn: false,
+                ack: true,
+                fin: false,
+            },
+            wnd: inner.my_wnd(),
+            ts: now,
+            ts_echo: inner.ts_recent,
+            holes: Vec::new(),
+            payload: payload.clone(),
+        };
+        inner.sent.insert(
+            inner.snd_nxt,
+            SentSeg {
+                payload,
+                syn: false,
+                fin: false,
+                retransmitted: false,
+                last_rexmit: None,
+            },
+        );
+        inner.snd_nxt += take as u64;
+        out.push(Action::Send(seg));
+    }
+    if inner.flight() > 0 && !inner.rto_armed {
+        arm_rto(inner, out);
+    }
+}
+
+fn maybe_writable(inner: &mut TcpInner, out: &mut Vec<Action>) {
+    // `unacked_bytes` counts everything accepted but not yet acknowledged
+    // (queued + in flight), i.e. the occupied send buffer.
+    if inner.app_blocked
+        && inner.cfg.send_buf.saturating_sub(inner.unacked_bytes) >= inner.cfg.mss
+    {
+        inner.app_blocked = false;
+        out.push(Action::Writable);
+    }
+}
+
+fn maybe_close(inner: &mut TcpInner, out: &mut Vec<Action>) {
+    if inner.closed_notified || inner.state == State::Closed {
+        return;
+    }
+    let local_done = !inner.fin_queued || inner.fin_acked;
+    if inner.fin_received && local_done {
+        inner.state = State::Closed;
+        inner.closed_notified = true;
+        disarm_rto(inner);
+        out.push(Action::Closed(CloseReason::Normal));
+    } else if inner.fin_queued && inner.fin_acked && !inner.fin_received {
+        // We initiated and the peer acknowledged; linger until the peer's
+        // FIN or just report closure (simplified half-close).
+        inner.state = State::Closed;
+        inner.closed_notified = true;
+        disarm_rto(inner);
+        out.push(Action::Closed(CloseReason::Normal));
+    }
+}
+
+struct ConnSink {
+    shared: Weak<TcpShared>,
+}
+
+impl PacketSink for ConnSink {
+    fn on_packet(&self, _net: &Network, pkt: Packet) {
+        if let Some(shared) = self.shared.upgrade() {
+            if let PacketBody::Tcp(seg) = pkt.body {
+                shared.handle_segment(seg);
+            }
+        }
+    }
+}
+
+impl TcpConn {
+    /// Opens a connection from an ephemeral port on `node` to `dst`.
+    ///
+    /// The SYN is sent immediately; [`StreamEvents::on_connected`] fires
+    /// when the handshake completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindError`] if no local port could be bound (exhausted
+    /// ephemeral range).
+    pub fn connect(
+        net: &Network,
+        node: NodeId,
+        dst: Endpoint,
+        cfg: TcpConfig,
+        events: Arc<dyn StreamEvents>,
+    ) -> Result<TcpConn, BindError> {
+        let port = net.alloc_ephemeral_port(node);
+        let local = Endpoint::new(node, port);
+        let shared = Arc::new(TcpShared {
+            id: ConnectionId::fresh(),
+            net: net.clone(),
+            inner: Mutex::new(TcpShared::new_inner(cfg, State::SynSent, local, dst)),
+            events: Mutex::new(Some(events)),
+        });
+        let sink = Arc::new(ConnSink {
+            shared: Arc::downgrade(&shared),
+        });
+        net.bind(node, WireProtocol::Tcp, port, sink)?;
+        // Send SYN.
+        shared.process(|inner, now, out| {
+            let seg = TcpSegment {
+                seq: 0,
+                ack: 0,
+                flags: SegFlags {
+                    syn: true,
+                    ack: false,
+                    fin: false,
+                },
+                wnd: inner.my_wnd(),
+                ts: now,
+                ts_echo: None,
+                holes: Vec::new(),
+                payload: Bytes::new(),
+            };
+            inner.sent.insert(
+                0,
+                SentSeg {
+                    payload: Bytes::new(),
+                    syn: true,
+                    fin: false,
+                    retransmitted: false,
+                    last_rexmit: None,
+                },
+            );
+            inner.snd_nxt = 1;
+            out.push(Action::Send(seg));
+            arm_rto(inner, out);
+        });
+        Ok(TcpConn { shared })
+    }
+
+    /// The connection id.
+    #[must_use]
+    pub fn id(&self) -> ConnectionId {
+        self.shared.id
+    }
+
+    /// Local endpoint.
+    #[must_use]
+    pub fn local(&self) -> Endpoint {
+        self.shared.inner.lock().local
+    }
+
+    /// Remote endpoint.
+    #[must_use]
+    pub fn peer(&self) -> Endpoint {
+        self.shared.inner.lock().peer
+    }
+
+    /// Whether the handshake completed and the connection is open.
+    #[must_use]
+    pub fn is_established(&self) -> bool {
+        self.shared.inner.lock().state == State::Established
+    }
+
+    /// Appends bytes to the send buffer; returns how many were accepted.
+    pub fn send(&self, data: Bytes) -> usize {
+        let mut accepted = 0;
+        self.shared.process(|inner, now, out| {
+            if inner.state == State::Closed || inner.fin_queued {
+                return;
+            }
+            let space = inner.cfg.send_buf.saturating_sub(inner.unacked_bytes);
+            let take = space.min(data.len());
+            if take < data.len() {
+                inner.app_blocked = true;
+            }
+            if take > 0 {
+                let chunk = data.slice(0..take);
+                inner.send_q_bytes += take;
+                inner.unacked_bytes += take;
+                inner.stats.bytes_sent += take as u64;
+                inner.send_q.push_back(chunk);
+                try_send(inner, now, out);
+            }
+            accepted = take;
+        });
+        accepted
+    }
+
+    /// Free space in the send buffer.
+    #[must_use]
+    pub fn free_send_buffer(&self) -> usize {
+        let inner = self.shared.inner.lock();
+        inner.cfg.send_buf.saturating_sub(inner.unacked_bytes)
+    }
+
+    /// Bytes accepted but not yet acknowledged by the peer (queued + in
+    /// flight).
+    #[must_use]
+    pub fn unacked_bytes(&self) -> usize {
+        self.shared.inner.lock().unacked_bytes
+    }
+
+    /// Cumulative payload bytes acknowledged by the peer.
+    #[must_use]
+    pub fn acked_bytes(&self) -> u64 {
+        self.shared.inner.lock().stats.bytes_acked
+    }
+
+    /// Smoothed RTT estimate, if any ACK carried a timestamp echo yet.
+    #[must_use]
+    pub fn rtt_estimate(&self) -> Option<Duration> {
+        self.shared.inner.lock().srtt.map(Duration::from_secs_f64)
+    }
+
+    /// Orderly close: a FIN is sent after all buffered data.
+    pub fn close(&self) {
+        self.shared.process(|inner, now, out| {
+            if inner.fin_queued || inner.state == State::Closed {
+                return;
+            }
+            inner.fin_queued = true;
+            try_send(inner, now, out);
+        });
+    }
+
+    /// Per-connection counters.
+    #[must_use]
+    pub fn stats(&self) -> TcpConnStats {
+        self.shared.inner.lock().stats
+    }
+
+    /// Current congestion window in bytes (diagnostics).
+    #[must_use]
+    pub fn cwnd(&self) -> f64 {
+        self.shared.inner.lock().cwnd
+    }
+}
+
+struct ListenerShared {
+    net: Network,
+    local: Endpoint,
+    cfg: TcpConfig,
+    handler: Arc<dyn StreamAccept>,
+    conns: Mutex<std::collections::HashMap<Endpoint, Arc<TcpShared>>>,
+}
+
+/// A TCP listening socket that accepts incoming connections.
+#[derive(Clone)]
+pub struct TcpListener {
+    shared: Arc<ListenerShared>,
+}
+
+impl fmt::Debug for TcpListener {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TcpListener")
+            .field("local", &self.shared.local)
+            .finish()
+    }
+}
+
+struct ListenerSink {
+    shared: Weak<ListenerShared>,
+}
+
+impl PacketSink for ListenerSink {
+    fn on_packet(&self, _net: &Network, pkt: Packet) {
+        let Some(listener) = self.shared.upgrade() else {
+            return;
+        };
+        let PacketBody::Tcp(seg) = pkt.body else {
+            return;
+        };
+        let existing = listener.conns.lock().get(&pkt.src).cloned();
+        if let Some(conn) = existing {
+            conn.handle_segment(seg);
+            return;
+        }
+        if !seg.flags.syn || seg.flags.ack {
+            return; // stray non-SYN for an unknown connection
+        }
+        // Passive open.
+        let shared = Arc::new(TcpShared {
+            id: ConnectionId::fresh(),
+            net: listener.net.clone(),
+            inner: Mutex::new(TcpShared::new_inner(
+                listener.cfg.clone(),
+                State::SynRcvd,
+                listener.local,
+                pkt.src,
+            )),
+            events: Mutex::new(None),
+        });
+        let conn = Connection::Tcp(TcpConn {
+            shared: shared.clone(),
+        });
+        let events = listener.handler.on_accept(&conn);
+        *shared.events.lock() = Some(events);
+        listener.conns.lock().insert(pkt.src, shared.clone());
+        shared.process(|inner, now, out| {
+            inner.rcv_nxt = seg.seq + 1;
+            inner.ts_recent = Some(seg.ts);
+            inner.peer_wnd = seg.wnd;
+            let synack = TcpSegment {
+                seq: 0,
+                ack: inner.rcv_nxt,
+                flags: SegFlags {
+                    syn: true,
+                    ack: true,
+                    fin: false,
+                },
+                wnd: inner.my_wnd(),
+                ts: now,
+                ts_echo: inner.ts_recent,
+                holes: Vec::new(),
+                payload: Bytes::new(),
+            };
+            inner.sent.insert(
+                0,
+                SentSeg {
+                    payload: Bytes::new(),
+                    syn: true,
+                    fin: false,
+                    retransmitted: false,
+                    last_rexmit: None,
+                },
+            );
+            inner.snd_nxt = 1;
+            out.push(Action::Send(synack));
+            arm_rto(inner, out);
+        });
+    }
+}
+
+impl TcpListener {
+    /// Binds a listener on `node`/`port`; `handler.on_accept` is invoked for
+    /// every new peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BindError`] if the port is taken.
+    pub fn bind(
+        net: &Network,
+        node: NodeId,
+        port: u16,
+        cfg: TcpConfig,
+        handler: Arc<dyn StreamAccept>,
+    ) -> Result<TcpListener, BindError> {
+        let shared = Arc::new(ListenerShared {
+            net: net.clone(),
+            local: Endpoint::new(node, port),
+            cfg,
+            handler,
+            conns: Mutex::new(std::collections::HashMap::new()),
+        });
+        let sink = Arc::new(ListenerSink {
+            shared: Arc::downgrade(&shared),
+        });
+        net.bind(node, WireProtocol::Tcp, port, sink)?;
+        Ok(TcpListener { shared })
+    }
+
+    /// The listening endpoint.
+    #[must_use]
+    pub fn local(&self) -> Endpoint {
+        self.shared.local
+    }
+
+    /// Number of connections this listener has accepted (and not forgotten).
+    #[must_use]
+    pub fn connection_count(&self) -> usize {
+        self.shared.conns.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sim;
+    use crate::link::LinkConfig;
+    use crate::testutil::{PatternSender, Recorder, SinkEvents};
+
+    fn setup(link: LinkConfig) -> (Sim, Network, NodeId, NodeId) {
+        let sim = Sim::new(11);
+        let net = Network::new(&sim);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.connect_duplex(a, b, link);
+        (sim, net, a, b)
+    }
+
+    struct AcceptRecorder {
+        rec: Arc<Recorder>,
+    }
+    impl StreamAccept for AcceptRecorder {
+        fn on_accept(&self, _conn: &Connection) -> Arc<dyn StreamEvents> {
+            self.rec.clone()
+        }
+    }
+
+    #[test]
+    fn handshake_completes() {
+        let (sim, net, a, b) = setup(LinkConfig::new(10e6, Duration::from_millis(5)));
+        let server = Arc::new(Recorder::default());
+        let _listener = TcpListener::bind(
+            &net,
+            b,
+            80,
+            TcpConfig::default(),
+            Arc::new(AcceptRecorder { rec: server.clone() }),
+        )
+        .unwrap();
+        let client = Arc::new(Recorder::default());
+        let conn = TcpConn::connect(
+            &net,
+            a,
+            Endpoint::new(b, 80),
+            TcpConfig::default(),
+            client.clone(),
+        )
+        .unwrap();
+        assert!(!conn.is_established());
+        sim.run_for(Duration::from_secs(1));
+        assert!(conn.is_established());
+        assert_eq!(client.connected(), 1);
+        assert_eq!(server.connected(), 1);
+    }
+
+    #[test]
+    fn small_transfer_delivers_in_order() {
+        let (sim, net, a, b) = setup(LinkConfig::new(10e6, Duration::from_millis(5)));
+        let server = Arc::new(Recorder::default());
+        let _l = TcpListener::bind(
+            &net,
+            b,
+            80,
+            TcpConfig::default(),
+            Arc::new(AcceptRecorder { rec: server.clone() }),
+        )
+        .unwrap();
+        let client = Arc::new(Recorder::default());
+        let conn = TcpConn::connect(
+            &net,
+            a,
+            Endpoint::new(b, 80),
+            TcpConfig::default(),
+            client,
+        )
+        .unwrap();
+        let msg: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let accepted = conn.send(Bytes::from(msg.clone()));
+        assert_eq!(accepted, msg.len());
+        sim.run_for(Duration::from_secs(2));
+        assert_eq!(server.data(), msg);
+        assert_eq!(conn.stats().retransmits, 0);
+    }
+
+    #[test]
+    fn bulk_transfer_reaches_link_rate_on_clean_path() {
+        let (sim, net, a, b) = setup(LinkConfig::new(10e6, Duration::from_millis(5)));
+        let server = Arc::new(Recorder::with_sim(&sim));
+        let _l = TcpListener::bind(
+            &net,
+            b,
+            80,
+            TcpConfig::default(),
+            Arc::new(AcceptRecorder { rec: server.clone() }),
+        )
+        .unwrap();
+        let total = 20_000_000usize; // 20 MB over a 10 MB/s link: ~2 s
+        let pump = PatternSender::new(&sim, total);
+        let conn = TcpConn::connect(&net, a, Endpoint::new(b, 80), TcpConfig::default(), pump)
+            .unwrap();
+        let _ = conn;
+        sim.run_for(Duration::from_secs(10));
+        assert_eq!(server.data_len(), total, "all bytes must arrive");
+        let rate = server.goodput();
+        assert!(
+            rate > 8e6 && rate <= 10.2e6,
+            "clean-path TCP should run near line rate, got {rate:.0} B/s"
+        );
+    }
+
+    #[test]
+    fn recovers_from_random_loss() {
+        let (sim, net, a, b) = setup(
+            LinkConfig::new(10e6, Duration::from_millis(10)).random_loss(0.01),
+        );
+        let server = Arc::new(Recorder::default());
+        let _l = TcpListener::bind(
+            &net,
+            b,
+            80,
+            TcpConfig::default(),
+            Arc::new(AcceptRecorder { rec: server.clone() }),
+        )
+        .unwrap();
+        let total = 2_000_000usize;
+        let pump = PatternSender::new(&sim, total);
+        let conn =
+            TcpConn::connect(&net, a, Endpoint::new(b, 80), TcpConfig::default(), pump).unwrap();
+        sim.run_for(Duration::from_secs(60));
+        assert_eq!(server.data_len(), total, "reliable despite 1% loss");
+        assert!(conn.stats().retransmits > 0, "loss must trigger retransmits");
+        assert!(server.in_order(), "delivery must stay in order");
+    }
+
+    #[test]
+    fn receiver_window_caps_throughput_at_high_rtt() {
+        // 125 MB/s link, 100 ms RTT, 256 KiB receive buffer:
+        // max ~2.56 MB/s, far below the link rate.
+        let cfg = TcpConfig {
+            recv_buf: 256 * 1024,
+            ..TcpConfig::default()
+        };
+        let (sim, net, a, b) = setup(LinkConfig::new(125e6, Duration::from_millis(50)));
+        let server = Arc::new(Recorder::with_sim(&sim));
+        let _l = TcpListener::bind(
+            &net,
+            b,
+            80,
+            cfg.clone(),
+            Arc::new(AcceptRecorder { rec: server.clone() }),
+        )
+        .unwrap();
+        let total = 10_000_000usize;
+        let pump = PatternSender::new(&sim, total);
+        let conn = TcpConn::connect(&net, a, Endpoint::new(b, 80), cfg, pump).unwrap();
+        let _ = conn;
+        sim.run_for(Duration::from_secs(30));
+        assert_eq!(server.data_len(), total);
+        let rate = server.goodput();
+        assert!(
+            rate < 3.5e6,
+            "window-capped flow must stay near wnd/RTT (~2.6 MB/s), got {rate:.0}"
+        );
+    }
+
+    #[test]
+    fn send_buffer_backpressure_and_writable() {
+        let cfg = TcpConfig {
+            send_buf: 64 * 1024,
+            ..TcpConfig::default()
+        };
+        let (sim, net, a, b) = setup(LinkConfig::new(1e6, Duration::from_millis(5)));
+        let server = Arc::new(Recorder::default());
+        let _l = TcpListener::bind(
+            &net,
+            b,
+            80,
+            TcpConfig::default(),
+            Arc::new(AcceptRecorder { rec: server.clone() }),
+        )
+        .unwrap();
+        let client = Arc::new(Recorder::default());
+        let conn = TcpConn::connect(&net, a, Endpoint::new(b, 80), cfg, client.clone()).unwrap();
+        sim.run_for(Duration::from_millis(100));
+        let big = Bytes::from(vec![7u8; 200 * 1024]);
+        let accepted = conn.send(big);
+        assert!(accepted < 200 * 1024, "send buffer must refuse the excess");
+        assert!(accepted >= 63 * 1024);
+        sim.run_for(Duration::from_secs(5));
+        assert!(client.writable() > 0, "writable notification expected");
+    }
+
+    #[test]
+    fn close_notifies_both_sides() {
+        let (sim, net, a, b) = setup(LinkConfig::new(10e6, Duration::from_millis(2)));
+        let server = Arc::new(Recorder::default());
+        let _l = TcpListener::bind(
+            &net,
+            b,
+            80,
+            TcpConfig::default(),
+            Arc::new(AcceptRecorder { rec: server.clone() }),
+        )
+        .unwrap();
+        let client = Arc::new(Recorder::default());
+        let conn = TcpConn::connect(
+            &net,
+            a,
+            Endpoint::new(b, 80),
+            TcpConfig::default(),
+            client.clone(),
+        )
+        .unwrap();
+        conn.send(Bytes::from_static(b"bye"));
+        conn.close();
+        sim.run_for(Duration::from_secs(5));
+        assert_eq!(server.data(), b"bye");
+        assert!(server.closed() >= 1, "server should observe the close");
+        assert!(client.closed() >= 1, "client should observe FIN-ACK close");
+    }
+
+    #[test]
+    fn connect_to_black_hole_times_out() {
+        let (sim, net, a, b) = setup(LinkConfig::new(10e6, Duration::from_millis(2)));
+        let client = Arc::new(Recorder::default());
+        let cfg = TcpConfig {
+            syn_retries: 2,
+            ..TcpConfig::default()
+        };
+        let conn = TcpConn::connect(&net, a, Endpoint::new(b, 81), cfg, client.clone()).unwrap();
+        sim.run_for(Duration::from_secs(120));
+        assert!(!conn.is_established());
+        assert_eq!(client.closed(), 1, "connect failure reported as close");
+    }
+
+    #[test]
+    fn rtt_estimate_tracks_path() {
+        let (sim, net, a, b) = setup(LinkConfig::new(10e6, Duration::from_millis(25)));
+        let server = Arc::new(Recorder::default());
+        let _l = TcpListener::bind(
+            &net,
+            b,
+            80,
+            TcpConfig::default(),
+            Arc::new(AcceptRecorder { rec: server }),
+        )
+        .unwrap();
+        let client = Arc::new(Recorder::default());
+        let conn = TcpConn::connect(
+            &net,
+            a,
+            Endpoint::new(b, 80),
+            TcpConfig::default(),
+            client,
+        )
+        .unwrap();
+        conn.send(Bytes::from(vec![1u8; 100_000]));
+        sim.run_for(Duration::from_secs(3));
+        let rtt = conn.rtt_estimate().expect("rtt sampled").as_secs_f64();
+        assert!(
+            (0.04..0.2).contains(&rtt),
+            "srtt should be near 50 ms (+delack), got {rtt}"
+        );
+    }
+
+    #[test]
+    fn sinkevents_trait_object_compiles() {
+        // Connection enum works through the shared StreamEvents trait.
+        let ev: Arc<dyn StreamEvents> = Arc::new(SinkEvents);
+        let _ = ev;
+    }
+}

@@ -1,0 +1,174 @@
+//! Packet tracing: observe every packet the fabric accepts, drops or
+//! delivers — the simulator's analog of `tcpdump`.
+//!
+//! Install a [`PacketTracer`] with
+//! [`Network::set_tracer`](crate::network::Network::set_tracer). The
+//! bundled [`RingTracer`] keeps the last *N* records in memory and can
+//! summarise drop reasons; custom tracers (e.g. writing a log) just
+//! implement the trait.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::link::DropReason;
+use crate::packet::{Endpoint, WireProtocol};
+use crate::time::SimTime;
+
+/// What happened to a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketEvent {
+    /// Accepted into the fabric at the source.
+    Sent,
+    /// Dropped by a link.
+    Dropped(DropReason),
+    /// Dropped because no route exists.
+    NoRoute,
+    /// Arrived but no sink is bound at the destination.
+    NoSink,
+    /// Handed to the destination sink.
+    Delivered,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// When the event happened.
+    pub time: SimTime,
+    /// Source endpoint.
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+    /// Wire protocol family.
+    pub protocol: WireProtocol,
+    /// Size on the wire.
+    pub wire_size: usize,
+    /// What happened.
+    pub event: PacketEvent,
+}
+
+/// Observes packet events. Implementations must be cheap: the tracer runs
+/// on the simulation's hot path.
+pub trait PacketTracer: Send + Sync {
+    /// Called for every packet event.
+    fn record(&self, record: PacketRecord);
+}
+
+/// A bounded in-memory tracer keeping the most recent records.
+#[derive(Debug)]
+pub struct RingTracer {
+    capacity: usize,
+    records: Mutex<VecDeque<PacketRecord>>,
+    counts: Mutex<TraceCounts>,
+}
+
+/// Aggregate counters kept by [`RingTracer`] (never evicted).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounts {
+    /// Packets accepted at sources.
+    pub sent: u64,
+    /// Packets delivered to sinks.
+    pub delivered: u64,
+    /// Packets dropped by queue overflow.
+    pub dropped_queue: u64,
+    /// Packets dropped by random loss.
+    pub dropped_loss: u64,
+    /// Packets dropped by the UDP policer.
+    pub dropped_policer: u64,
+    /// Packets dropped by downed links.
+    pub dropped_down: u64,
+    /// Packets without a route or sink.
+    pub unroutable: u64,
+}
+
+impl RingTracer {
+    /// Creates a tracer retaining the last `capacity` records.
+    #[must_use]
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(RingTracer {
+            capacity: capacity.max(1),
+            records: Mutex::new(VecDeque::with_capacity(capacity.clamp(1, 4096))),
+            counts: Mutex::new(TraceCounts::default()),
+        })
+    }
+
+    /// A snapshot of the retained records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> Vec<PacketRecord> {
+        self.records.lock().iter().copied().collect()
+    }
+
+    /// The aggregate counters.
+    #[must_use]
+    pub fn counts(&self) -> TraceCounts {
+        *self.counts.lock()
+    }
+}
+
+impl PacketTracer for RingTracer {
+    fn record(&self, record: PacketRecord) {
+        {
+            let mut counts = self.counts.lock();
+            match record.event {
+                PacketEvent::Sent => counts.sent += 1,
+                PacketEvent::Delivered => counts.delivered += 1,
+                PacketEvent::Dropped(DropReason::QueueOverflow) => counts.dropped_queue += 1,
+                PacketEvent::Dropped(DropReason::RandomLoss) => counts.dropped_loss += 1,
+                PacketEvent::Dropped(DropReason::Policed) => counts.dropped_policer += 1,
+                PacketEvent::Dropped(DropReason::LinkDown) => counts.dropped_down += 1,
+                PacketEvent::NoRoute | PacketEvent::NoSink => counts.unroutable += 1,
+            }
+        }
+        let mut records = self.records.lock();
+        if records.len() == self.capacity {
+            records.pop_front();
+        }
+        records.push_back(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::NodeId;
+
+    fn rec(event: PacketEvent) -> PacketRecord {
+        PacketRecord {
+            time: SimTime::ZERO,
+            src: Endpoint::new(NodeId::from_index(0), 1),
+            dst: Endpoint::new(NodeId::from_index(1), 2),
+            protocol: WireProtocol::Udp,
+            wire_size: 100,
+            event,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let tracer = RingTracer::new(3);
+        for i in 0..5 {
+            let mut r = rec(PacketEvent::Sent);
+            r.wire_size = i;
+            tracer.record(r);
+        }
+        let records = tracer.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].wire_size, 2);
+        assert_eq!(tracer.counts().sent, 5, "counters never evicted");
+    }
+
+    #[test]
+    fn counts_split_by_reason() {
+        let tracer = RingTracer::new(10);
+        tracer.record(rec(PacketEvent::Dropped(DropReason::Policed)));
+        tracer.record(rec(PacketEvent::Dropped(DropReason::RandomLoss)));
+        tracer.record(rec(PacketEvent::NoRoute));
+        tracer.record(rec(PacketEvent::Delivered));
+        let c = tracer.counts();
+        assert_eq!(c.dropped_policer, 1);
+        assert_eq!(c.dropped_loss, 1);
+        assert_eq!(c.unroutable, 1);
+        assert_eq!(c.delivered, 1);
+    }
+}

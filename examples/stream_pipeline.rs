@@ -1,0 +1,63 @@
+//! The paper's motivating scenario (§I): a data-analytics pipeline à la
+//! Spark/Flink that must move bulk shuffle data between sites *while*
+//! keeping low-latency control over the running tasks.
+//!
+//! A "driver" on the EU host exchanges heartbeat control messages with a
+//! "worker" in Sydney while a large shuffle runs in parallel. Run twice:
+//! once with the shuffle over plain TCP (control starves behind data),
+//! once over the adaptive `DATA` meta-protocol (control interleaves).
+//!
+//! ```text
+//! cargo run --release --example stream_pipeline
+//! ```
+
+use std::time::Duration;
+
+use kompics_messaging::prelude::*;
+
+fn run(shuffle_transport: Transport) -> (f64, f64, f64) {
+    let shuffle = Dataset::climate(64 * 1024 * 1024, 7);
+    let mut cfg = ExperimentConfig::transfer(Setup::Eu2Au, shuffle_transport, shuffle, 21);
+    cfg.ping = Some(PingSettings {
+        transport: Transport::Tcp,
+        interval: Duration::from_millis(200),
+    });
+    cfg.max_sim_time = Duration::from_secs(400);
+    let result = run_experiment(&cfg);
+    let ping = result.ping.expect("heartbeats ran");
+    let mean_hb = ping.mean().expect("heartbeat RTTs").as_secs_f64() * 1e3;
+    let p_max = ping
+        .rtts
+        .iter()
+        .map(std::time::Duration::as_secs_f64)
+        .fold(0.0f64, f64::max)
+        * 1e3;
+    let thr = result.throughput.map_or(0.0, |t| t / 1e6);
+    (thr, mean_hb, p_max)
+}
+
+fn main() {
+    println!("Streaming pipeline on EU ↔ Sydney (320 ms RTT): 64 MB shuffle + heartbeats\n");
+    println!(
+        "{:<22} {:>16} {:>18} {:>16}",
+        "shuffle transport", "shuffle MB/s", "heartbeat mean", "heartbeat max"
+    );
+    for transport in [Transport::Tcp, Transport::Data] {
+        let (thr, mean_hb, max_hb) = run(transport);
+        println!(
+            "{:<22} {:>13.2}    {:>12.0} ms {:>13.0} ms",
+            transport.to_string(),
+            thr,
+            mean_hb,
+            max_hb
+        );
+    }
+    println!(
+        "\nWith the shuffle on plain TCP the heartbeats share its channel and\n\
+         queue behind megabytes of data. The DATA meta-protocol keeps\n\
+         transport queues shallow, so control stays responsive; and on long\n\
+         runs, once TCP's fresh-connection honeymoon decays to its ~1 MB/s\n\
+         AIMD equilibrium, DATA's learner also wins on bulk throughput\n\
+         (see fig9)."
+    );
+}
