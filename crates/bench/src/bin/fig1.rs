@@ -10,8 +10,11 @@
 //! summarised as min / p25 / median / p75 / max boxes.
 //!
 //! ```text
-//! cargo run --release -p kmsg-bench --bin fig1
+//! cargo run --release -p kmsg-bench --bin fig1 [-- --quick]
 //! ```
+//!
+//! `--quick` shrinks the stream to CI scale (the box statistics get a
+//! little noisier but keep their shape).
 
 use kmsg_core::data::{
     PatternKind, PatternSelection, ProtocolSelectionPolicy, RandomSelection, Ratio,
@@ -50,7 +53,9 @@ fn stream_of(policy: &mut dyn ProtocolSelectionPolicy, n: usize) -> Vec<Transpor
 }
 
 fn main() {
-    let seeds = SeedSource::new(1);
+    let args = kmsg_bench::BenchArgs::parse();
+    let entries = if args.quick { 20_000 } else { ENTRIES };
+    let seeds = SeedSource::new(args.seed);
     // The paper's x-axis: target ratios as the probability of UDT.
     let targets = [(0.0, "0"), (0.03, "3/100"), (1.0 / 3.0, "1/3"), (0.8, "4/5")];
 
@@ -75,7 +80,7 @@ fn main() {
                         seeds.stream(&format!("fig1-{label}-{window_label}")),
                     ))
                 };
-                let stream = stream_of(policy.as_mut(), ENTRIES + window);
+                let stream = stream_of(policy.as_mut(), entries + window);
                 let ratios = windowed_ratios(&stream, window);
                 let s = Summary::of(&ratios);
                 println!(

@@ -1,23 +1,223 @@
 //! Calibration probe: prints the baseline behaviours the experiment
-//! environments are calibrated to (see DESIGN.md §3) — one full-size
-//! transfer per (setup, transport) pair of interest, with simulated time,
-//! throughput and event counts.
+//! environments are calibrated to (see DESIGN.md §3) — a raw event-engine
+//! throughput probe (timing-wheel engine vs the heap-based reference
+//! oracle), then one full-size transfer per (setup, transport) pair of
+//! interest, with simulated time, throughput and event counts.
+//!
+//! Emits everything machine-readable to `BENCH_engine.json`.
 //!
 //! ```text
-//! cargo run --release -p kmsg-bench --bin timing_probe
+//! cargo run --release -p kmsg-bench --bin timing_probe [--quick]
 //! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::Rng;
 
 use kmsg_apps::*;
 use kmsg_core::Transport;
-use std::time::Instant;
+use kmsg_netsim::engine::{EventTarget, Sim};
+use kmsg_netsim::reference::ReferenceSim;
+use kmsg_netsim::rng::SeedSource;
+use kmsg_netsim::time::SimTime;
+
+struct EngineProbe {
+    name: &'static str,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+}
+
+struct TransferProbe {
+    setup: String,
+    proto: String,
+    sim_secs: f64,
+    throughput_mbps: f64,
+    events: u64,
+    wall_secs: f64,
+}
+
+struct CountTarget(AtomicU64);
+impl EventTarget for CountTarget {
+    fn fire(self: Arc<Self>, _sim: &Sim, _token: u64) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn probe(name: &'static str, events: u64, run: impl FnOnce() -> u64) -> EngineProbe {
+    let wall = Instant::now();
+    let executed = run();
+    let wall_secs = wall.elapsed().as_secs_f64();
+    assert_eq!(executed, events, "{name}: probe must drain exactly");
+    EngineProbe {
+        name,
+        events,
+        wall_secs,
+        events_per_sec: events as f64 / wall_secs,
+    }
+}
+
+/// Raw engine throughput: the now-lane fast path (zero-delay), a jittered
+/// schedule spread across wheel levels, and the zero-alloc target path.
+fn engine_probes(events: u64) -> Vec<EngineProbe> {
+    let delays: Vec<u64> = {
+        let mut rng = SeedSource::new(42).stream("engine-bench-jitter");
+        (0..events)
+            .map(|_| rng.gen_range(1_000u64..=50_000_000))
+            .collect()
+    };
+
+    vec![
+        probe("wheel/zero_delay", events, || {
+            let sim = Sim::new(1);
+            let hits = Arc::new(AtomicU64::new(0));
+            for _ in 0..events {
+                let h = hits.clone();
+                sim.schedule_in(Duration::ZERO, move |_| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            sim.run_until(SimTime::ZERO);
+            sim.events_executed()
+        }),
+        probe("heap/zero_delay", events, || {
+            let sim = ReferenceSim::new();
+            let hits = Arc::new(AtomicU64::new(0));
+            for _ in 0..events {
+                let h = hits.clone();
+                sim.schedule_in(Duration::ZERO, move |_| {
+                    h.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            sim.run_until(SimTime::ZERO);
+            sim.events_executed()
+        }),
+        probe("wheel/jittered", events, || {
+            let sim = Sim::new(1);
+            for &d in &delays {
+                sim.schedule_at(SimTime::from_nanos(d), |_| {});
+            }
+            sim.run_to_completion();
+            sim.events_executed()
+        }),
+        probe("heap/jittered", events, || {
+            let sim = ReferenceSim::new();
+            for &d in &delays {
+                sim.schedule_at(SimTime::from_nanos(d), |_| {});
+            }
+            sim.run_to_completion();
+            sim.events_executed()
+        }),
+        probe("wheel/zero_delay_targets", events, || {
+            let sim = Sim::new(1);
+            let target = Arc::new(CountTarget(AtomicU64::new(0)));
+            for i in 0..events {
+                sim.schedule_target_in(Duration::ZERO, target.clone(), i);
+            }
+            sim.run_until(SimTime::ZERO);
+            sim.events_executed()
+        }),
+    ]
+}
+
+fn speedup(probes: &[EngineProbe], new: &str, old: &str) -> f64 {
+    let rate = |name: &str| {
+        probes
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.events_per_sec)
+            .unwrap_or(f64::NAN)
+    };
+    rate(new) / rate(old)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Hand-rolled JSON (the workspace has no serde_json).
+fn write_json(engine_events: u64, engines: &[EngineProbe], transfers: &[TransferProbe]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"engine\",\n");
+    out.push_str(&format!("  \"events_per_run\": {engine_events},\n"));
+    out.push_str("  \"engines\": [\n");
+    for (i, p) in engines.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}}}{}\n",
+            json_escape(p.name),
+            p.events,
+            p.wall_secs,
+            p.events_per_sec,
+            if i + 1 < engines.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"speedup\": {{\"zero_delay\": {:.2}, \"jittered\": {:.2}, \"zero_delay_targets_vs_heap\": {:.2}}},\n",
+        speedup(engines, "wheel/zero_delay", "heap/zero_delay"),
+        speedup(engines, "wheel/jittered", "heap/jittered"),
+        speedup(engines, "wheel/zero_delay_targets", "heap/zero_delay"),
+    ));
+    out.push_str("  \"transfers\": [\n");
+    for (i, t) in transfers.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"setup\": \"{}\", \"transport\": \"{}\", \"sim_secs\": {:.3}, \"throughput_mbps\": {:.3}, \"events\": {}, \"wall_secs\": {:.3}, \"events_per_wall_sec\": {:.1}}}{}\n",
+            json_escape(&t.setup),
+            json_escape(&t.proto),
+            t.sim_secs,
+            t.throughput_mbps,
+            t.events,
+            t.wall_secs,
+            t.events as f64 / t.wall_secs,
+            if i + 1 < transfers.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_engine.json", out).expect("write BENCH_engine.json");
+}
 
 fn main() {
-    println!("Calibration probe ({} MB dataset):\n", PAPER_DATASET_SIZE / (1024 * 1024));
+    let args = kmsg_bench::BenchArgs::parse();
+    let engine_events: u64 = if args.quick { 200_000 } else { 1_000_000 };
+
+    println!("Engine throughput probe ({engine_events} events per run):\n");
+    println!(
+        "{:<26} {:>12} {:>10} {:>16}",
+        "engine/workload", "events", "wall", "events/sec"
+    );
+    kmsg_bench::rule(68);
+    let engines = engine_probes(engine_events);
+    for p in &engines {
+        println!(
+            "{:<26} {:>12} {:>8.3} s {:>16.0}",
+            p.name, p.events, p.wall_secs, p.events_per_sec
+        );
+    }
+    println!(
+        "\nwheel vs heap speedup: zero-delay {:.2}x, jittered {:.2}x, \
+         zero-delay targets {:.2}x\n",
+        speedup(&engines, "wheel/zero_delay", "heap/zero_delay"),
+        speedup(&engines, "wheel/jittered", "heap/jittered"),
+        speedup(&engines, "wheel/zero_delay_targets", "heap/zero_delay"),
+    );
+
+    let dataset_size = if args.quick {
+        args.size
+    } else {
+        PAPER_DATASET_SIZE
+    };
+    println!(
+        "Calibration probe ({} MB dataset):\n",
+        dataset_size / (1024 * 1024)
+    );
     println!(
         "{:<8} {:<5} {:>10} {:>12} {:>12} {:>9}",
         "setup", "proto", "sim time", "throughput", "events", "wall"
     );
     kmsg_bench::rule(62);
+    let mut transfers = Vec::new();
     for (setup, proto) in [
         (Setup::Local, Transport::Tcp),
         (Setup::Local, Transport::Udt),
@@ -28,11 +228,12 @@ fn main() {
         (Setup::Eu2Au, Transport::Tcp),
         (Setup::Eu2Au, Transport::Udt),
     ] {
-        let dataset = Dataset::climate(PAPER_DATASET_SIZE, 1);
-        let cfg = ExperimentConfig::transfer(setup.clone(), proto, dataset, 1);
+        let dataset = Dataset::climate(dataset_size, args.seed);
+        let cfg = ExperimentConfig::transfer(setup.clone(), proto, dataset, args.seed);
         let wall = Instant::now();
         let r = run_experiment(&cfg);
         assert!(r.verified, "calibration transfers must verify");
+        let wall_secs = wall.elapsed().as_secs_f64();
         println!(
             "{:<8} {:<5} {:>8.1} s {:>9.2} MB/s {:>12} {:>7.1} s",
             setup.label(),
@@ -40,12 +241,23 @@ fn main() {
             r.transfer_time.expect("completed").as_secs_f64(),
             r.throughput.expect("completed") / 1e6,
             r.events,
-            wall.elapsed().as_secs_f64()
+            wall_secs
         );
+        transfers.push(TransferProbe {
+            setup: setup.label().to_string(),
+            proto: proto.to_string(),
+            sim_secs: r.transfer_time.expect("completed").as_secs_f64(),
+            throughput_mbps: r.throughput.expect("completed") / 1e6,
+            events: r.events,
+            wall_secs,
+        });
     }
     println!(
         "\nCalibration targets (paper, §V): TCP disk-limited (~110 MB/s) at\n\
          Local/EU-VPC and collapsing to ~1-2 MB/s on the lossy WAN paths;\n\
          UDT near the ~10 MB/s EC2 UDP policer on every real-network setup."
     );
+
+    write_json(engine_events, &engines, &transfers);
+    println!("\nWrote BENCH_engine.json");
 }

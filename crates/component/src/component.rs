@@ -109,6 +109,9 @@ pub struct ComponentCore {
     pub(crate) timeout_q: SegQueue<TimeoutId>,
     pub(crate) cancelled_timeouts: Mutex<HashSet<TimeoutId>>,
     pub(crate) runner: OnceLock<Weak<dyn AbstractComponent>>,
+    /// Lazily-created shared receiver for one-shot timeouts, so scheduling
+    /// a timer never allocates per event.
+    timeout_sink: OnceLock<Arc<crate::timer::TimeoutSink>>,
 }
 
 impl std::fmt::Debug for ComponentCore {
@@ -132,7 +135,19 @@ impl ComponentCore {
             timeout_q: SegQueue::new(),
             cancelled_timeouts: Mutex::new(HashSet::new()),
             runner: OnceLock::new(),
+            timeout_sink: OnceLock::new(),
         })
+    }
+
+    /// The shared one-shot timeout receiver for this core.
+    pub(crate) fn timeout_sink(self: &Arc<Self>) -> Arc<crate::timer::TimeoutSink> {
+        self.timeout_sink
+            .get_or_init(|| {
+                Arc::new(crate::timer::TimeoutSink {
+                    core: Arc::downgrade(self),
+                })
+            })
+            .clone()
     }
 
     /// This component's id.
@@ -205,6 +220,14 @@ impl ComponentCore {
                 system.scheduler.schedule(self.clone());
             }
         }
+    }
+}
+
+/// The simulation scheduler schedules a core's execution as an engine event
+/// with the core itself as the target — no per-execution allocation.
+impl kmsg_netsim::engine::EventTarget for ComponentCore {
+    fn fire(self: Arc<Self>, _sim: &kmsg_netsim::engine::Sim, _token: u64) {
+        self.run();
     }
 }
 

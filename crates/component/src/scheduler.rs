@@ -45,18 +45,31 @@ impl SimulationScheduler {
 impl Scheduler for SimulationScheduler {
     fn schedule(&self, core: Arc<ComponentCore>) {
         // Scheduling at "now" preserves FIFO order among ready components
-        // (ties broken by insertion order in the event queue).
-        self.sim.schedule_in(std::time::Duration::ZERO, move |_| {
-            core.run();
-        });
+        // (ties broken by insertion order in the engine's now lane). The
+        // core itself is the event target, so this allocates nothing —
+        // every component execution used to box a closure here.
+        self.sim
+            .schedule_target_in(std::time::Duration::ZERO, core, 0);
     }
+}
+
+/// What a pool worker receives: a component to run, or an orderly stop.
+///
+/// The explicit shutdown message replaces the old hack of sending dummy
+/// `ComponentCore`s with a sentinel id: because the channel is FIFO and the
+/// stop message is enqueued *behind* real work, workers finish everything
+/// scheduled before `shutdown` was called, and no id can collide with a
+/// user component.
+enum WorkerMsg {
+    Run(Arc<ComponentCore>),
+    Shutdown,
 }
 
 /// Executes components on a fixed pool of worker threads.
 pub struct ThreadPoolScheduler {
-    tx: Sender<Arc<ComponentCore>>,
+    tx: Sender<WorkerMsg>,
     workers: parking_lot::Mutex<Vec<JoinHandle<()>>>,
-    down: Arc<AtomicBool>,
+    down: AtomicBool,
 }
 
 impl std::fmt::Debug for ThreadPoolScheduler {
@@ -72,21 +85,19 @@ impl ThreadPoolScheduler {
     #[must_use]
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (tx, rx): (Sender<Arc<ComponentCore>>, Receiver<Arc<ComponentCore>>) = unbounded();
-        let down = Arc::new(AtomicBool::new(false));
+        let (tx, rx): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = unbounded();
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
             let rx = rx.clone();
-            let down = down.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("kmsg-worker-{i}"))
                     .spawn(move || {
-                        while let Ok(core) = rx.recv() {
-                            if down.load(Ordering::Acquire) {
-                                break;
+                        while let Ok(msg) = rx.recv() {
+                            match msg {
+                                WorkerMsg::Run(core) => core.run(),
+                                WorkerMsg::Shutdown => break,
                             }
-                            core.run();
                         }
                     })
                     .expect("spawn worker thread"),
@@ -95,28 +106,29 @@ impl ThreadPoolScheduler {
         ThreadPoolScheduler {
             tx,
             workers: parking_lot::Mutex::new(workers),
-            down,
+            down: AtomicBool::new(false),
         }
     }
 }
 
 impl Scheduler for ThreadPoolScheduler {
     fn schedule(&self, core: Arc<ComponentCore>) {
-        // Ignore failures during shutdown.
-        let _ = self.tx.send(core);
+        // After shutdown this is a documented no-op (the workers are gone).
+        if self.down.load(Ordering::Acquire) {
+            return;
+        }
+        let _ = self.tx.send(WorkerMsg::Run(core));
     }
 
     fn shutdown(&self) {
-        self.down.store(true, Ordering::Release);
-        // Wake workers with no-op sends so they observe the flag; the
-        // channel disconnects when the scheduler drops.
+        if self.down.swap(true, Ordering::AcqRel) {
+            return; // idempotent
+        }
         let mut workers = self.workers.lock();
+        // One stop message per worker, queued behind all real work: each
+        // worker drains work in FIFO order and exits on its stop message.
         for _ in workers.iter() {
-            let dummy = ComponentCore::new(
-                crate::component::ComponentId(u64::MAX),
-                std::sync::Weak::new(),
-            );
-            let _ = self.tx.send(dummy);
+            let _ = self.tx.send(WorkerMsg::Shutdown);
         }
         for w in workers.drain(..) {
             let _ = w.join();
@@ -135,6 +147,13 @@ impl Drop for ThreadPoolScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::component::{
+        AbstractComponent, Component, ComponentContext, ComponentDefinition, ComponentId,
+        ControlEvent,
+    };
+    use parking_lot::Mutex;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Weak;
 
     #[test]
     fn sim_scheduler_runs_core() {
@@ -154,5 +173,47 @@ mod tests {
         sched.schedule(core);
         std::thread::sleep(std::time::Duration::from_millis(20));
         sched.shutdown();
+        // Idempotent and safe after workers are gone.
+        sched.shutdown();
+        let core = ComponentCore::new(crate::component::ComponentId(9), std::sync::Weak::new());
+        sched.schedule(core);
+    }
+
+    struct CountStarts(Arc<AtomicUsize>);
+    impl ComponentDefinition for CountStarts {
+        fn execute(&mut self, _: &mut ComponentContext, _: usize) -> usize {
+            0
+        }
+        fn handle_control(&mut self, _: &mut ComponentContext, event: ControlEvent) {
+            if event == ControlEvent::Start {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_already_scheduled_work() {
+        // Regression test for the dummy-sentinel shutdown: work enqueued
+        // before shutdown() must run, not be dropped on the floor.
+        let sched = ThreadPoolScheduler::new(2);
+        let started = Arc::new(AtomicUsize::new(0));
+        let mut components = Vec::new();
+        const N: usize = 64;
+        for i in 0..N {
+            let core = ComponentCore::new(ComponentId(i as u64), Weak::new());
+            let component = Arc::new(Component {
+                core: core.clone(),
+                definition: Mutex::new(CountStarts(started.clone())),
+            });
+            let abstract_ref: Arc<dyn AbstractComponent> = component.clone();
+            core.runner
+                .set(Arc::downgrade(&abstract_ref))
+                .unwrap_or_else(|_| unreachable!("runner set twice"));
+            core.control_q.push(ControlEvent::Start);
+            components.push(component);
+            sched.schedule(core);
+        }
+        sched.shutdown();
+        assert_eq!(started.load(Ordering::SeqCst), N);
     }
 }

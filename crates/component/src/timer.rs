@@ -2,10 +2,10 @@
 //! components through
 //! [`ComponentDefinition::on_timeout`](crate::component::ComponentDefinition::on_timeout).
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
-use kmsg_netsim::engine::Sim;
+use kmsg_netsim::engine::{EventTarget, Sim};
 use kmsg_netsim::time::SimTime;
 
 use crate::component::ComponentCore;
@@ -52,9 +52,11 @@ impl SimTimer {
 
 impl TimerSource for SimTimer {
     fn schedule_once(&self, delay: Duration, target: Arc<ComponentCore>, id: TimeoutId) {
-        self.sim.schedule_in(delay, move |_| {
-            target.push_timeout(id);
-        });
+        // The per-core timeout sink is created once and reused for every
+        // one-shot; the timeout id rides in the event token, so scheduling
+        // a timer allocates nothing.
+        let sink = target.timeout_sink();
+        self.sim.schedule_target_in(delay, sink, id.0);
     }
 
     fn schedule_periodic(
@@ -64,27 +66,55 @@ impl TimerSource for SimTimer {
         target: Arc<ComponentCore>,
         id: TimeoutId,
     ) {
-        let sim = self.sim.clone();
-        self.sim.schedule_in(delay, move |_| {
-            fire_periodic(&sim, period, target, id);
+        let sink = Arc::new(PeriodicSink {
+            core: Arc::downgrade(&target),
+            period,
+            id,
         });
+        self.sim.schedule_target_in(delay, sink, id.0);
     }
 }
 
-fn fire_periodic(sim: &Sim, period: Duration, target: Arc<ComponentCore>, id: TimeoutId) {
-    if target.is_timeout_cancelled(id) {
-        // Consume the cancellation so the id can be reused safely.
-        target.cancelled_timeouts.lock().remove(&id);
-        return;
+/// Per-core one-shot timeout receiver: fires `TimeoutId(token)` into the
+/// component. One allocation per component, shared by all its one-shots.
+pub(crate) struct TimeoutSink {
+    pub(crate) core: Weak<ComponentCore>,
+}
+
+impl EventTarget for TimeoutSink {
+    fn fire(self: Arc<Self>, _sim: &Sim, token: u64) {
+        if let Some(core) = self.core.upgrade() {
+            core.push_timeout(TimeoutId(token));
+        }
     }
-    if target.lifecycle_state() == crate::component::LifecycleState::Destroyed {
-        return;
+}
+
+/// A periodic timeout chain: one allocation at set-up, then the sink
+/// reschedules its own `Arc` every period until cancelled or the component
+/// is destroyed.
+struct PeriodicSink {
+    core: Weak<ComponentCore>,
+    period: Duration,
+    id: TimeoutId,
+}
+
+impl EventTarget for PeriodicSink {
+    fn fire(self: Arc<Self>, sim: &Sim, _token: u64) {
+        let Some(core) = self.core.upgrade() else {
+            return;
+        };
+        if core.is_timeout_cancelled(self.id) {
+            // Consume the cancellation so the id can be reused safely.
+            core.cancelled_timeouts.lock().remove(&self.id);
+            return;
+        }
+        if core.lifecycle_state() == crate::component::LifecycleState::Destroyed {
+            return;
+        }
+        core.push_timeout(self.id);
+        let (period, token) = (self.period, self.id.0);
+        sim.schedule_target_in(period, self, token);
     }
-    target.push_timeout(id);
-    let sim2 = sim.clone();
-    sim.schedule_in(period, move |_| {
-        fire_periodic(&sim2, period, target, id);
-    });
 }
 
 impl Clock for SimTimer {

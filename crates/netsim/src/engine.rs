@@ -1,14 +1,43 @@
 //! The discrete-event simulation engine.
 //!
-//! [`Sim`] owns a virtual clock and a priority queue of scheduled events.
-//! Events are boxed closures executed in timestamp order; ties are broken by
-//! insertion order, which makes runs fully deterministic.
+//! [`Sim`] owns a virtual clock and the pending-event store. Events execute
+//! in `(timestamp, insertion order)` sequence, which makes runs fully
+//! deterministic.
 //!
-//! The handle is cheaply cloneable and thread-safe so that simulated
-//! subsystems (links, transport endpoints, component schedulers) can capture
-//! it and schedule further events from inside event handlers. Events are
-//! executed *without* holding the engine lock, so re-entrant scheduling is
-//! always safe.
+//! # Event store
+//!
+//! Internally the engine keeps two structures behind one mutex:
+//!
+//! * a **now lane** — a FIFO `VecDeque` holding every event due at exactly
+//!   the current clock value. Zero-delay scheduling (the component
+//!   scheduler's fast path, loopback delivery, same-timestamp fan-out)
+//!   appends here in O(1) with no ordering work at all;
+//! * a hierarchical [timing wheel](crate::wheel) holding every event due in
+//!   the future, extracted one timestamp-cohort at a time.
+//!
+//! The invariant tying them together: every now-lane event is stamped with
+//! the current clock value, and every wheel entry is strictly in the future.
+//! When the clock advances to the wheel's next deadline, that whole cohort
+//! moves into the lane. `run_until` drains the lane a batch at a time —
+//! one lock acquisition per batch, not per event — and executes events
+//! *without* holding the engine lock, so re-entrant scheduling from inside
+//! handlers is always safe. (Re-entrant `run_*` calls from inside an event
+//! are not supported.)
+//!
+//! # Zero-allocation scheduling
+//!
+//! Beyond boxed closures ([`Sim::schedule_at`] / [`Sim::schedule_in`]), the
+//! engine understands two preboxed event shapes that cover the simulation
+//! hot paths and allocate nothing per event:
+//!
+//! * [`Sim::schedule_target_at`] — fire an [`EventTarget`] (e.g. run a
+//!   component core, deliver a timeout) identified by a shared `Arc` plus a
+//!   `u64` token;
+//! * packet hops — advance a packet along its route (scheduled internally
+//!   by [`Network`](crate::network::Network)).
+//!
+//! Event payloads live inline in the lane/wheel vectors, whose allocations
+//! are recycled across batches, so steady-state dispatch is allocation-free.
 //!
 //! # Examples
 //!
@@ -30,57 +59,74 @@
 //! assert_eq!(hits.load(Ordering::SeqCst), 1);
 //! ```
 
-use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 use std::fmt;
+use std::mem;
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::link::LinkId;
+use crate::network::Network;
+use crate::packet::Packet;
 use crate::rng::{RngStream, SeedSource};
 use crate::time::SimTime;
+use crate::wheel::{TimingWheel, WheelEntry};
 
 /// A scheduled simulation event: a one-shot closure run at its timestamp.
 pub type EventFn = Box<dyn FnOnce(&Sim) + Send>;
 
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    run: EventFn,
+/// A reusable event receiver for allocation-free scheduling.
+///
+/// Implementors are shared via `Arc` and fired with a caller-chosen `u64`
+/// token, so one long-lived allocation serves any number of scheduled
+/// events — the component scheduler and timers use this instead of boxing a
+/// closure per event. See [`Sim::schedule_target_at`].
+pub trait EventTarget: Send + Sync {
+    /// Called when the event's timestamp is reached. Receives the firing
+    /// `Arc` itself (so periodic targets can reschedule without cloning
+    /// state) and the token passed at scheduling time.
+    fn fire(self: Arc<Self>, sim: &Sim, token: u64);
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> CmpOrdering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+/// One pending event, in any of the engine's preboxed shapes.
+enum EventKind {
+    /// A boxed one-shot closure (the flexible, allocating shape).
+    Closure(EventFn),
+    /// Fire a shared [`EventTarget`] with a token. No per-event allocation.
+    Target {
+        target: Arc<dyn EventTarget>,
+        token: u64,
+    },
+    /// Advance a packet to hop `idx` of its route (deliver when past the
+    /// end). No per-event allocation; the route is shared via `Arc`.
+    PacketHop {
+        net: Network,
+        pkt: Packet,
+        links: Arc<Vec<LinkId>>,
+        idx: usize,
+    },
 }
 
 struct SimInner {
     now: SimTime,
     seq: u64,
     executed: u64,
-    queue: BinaryHeap<Scheduled>,
+    /// Events due at exactly `now`, in insertion (= seq) order.
+    now_lane: VecDeque<EventKind>,
+    /// Events strictly after `now`.
+    wheel: TimingWheel<EventKind>,
+    /// Scratch buffer for wheel cohort extraction (capacity recycled).
+    cohort: Vec<WheelEntry<EventKind>>,
+    /// Spare batch buffer so `run_until` reuses capacity across calls.
+    spare: VecDeque<EventKind>,
 }
 
 /// Handle to the discrete-event simulation engine.
 ///
 /// Cloning is cheap (an [`Arc`] bump); all clones refer to the same clock and
-/// event queue. See the [module documentation](self) for an example.
+/// event store. See the [module documentation](self) for an example.
 #[derive(Clone)]
 pub struct Sim {
     inner: Arc<Mutex<SimInner>>,
@@ -92,7 +138,7 @@ impl fmt::Debug for Sim {
         let inner = self.inner.lock();
         f.debug_struct("Sim")
             .field("now", &inner.now)
-            .field("pending", &inner.queue.len())
+            .field("pending", &(inner.now_lane.len() + inner.wheel.len()))
             .field("executed", &inner.executed)
             .field("seed", &self.seeds.root())
             .finish()
@@ -108,7 +154,10 @@ impl Sim {
                 now: SimTime::ZERO,
                 seq: 0,
                 executed: 0,
-                queue: BinaryHeap::new(),
+                now_lane: VecDeque::new(),
+                wheel: TimingWheel::new(),
+                cohort: Vec::new(),
+                spare: VecDeque::new(),
             })),
             seeds: SeedSource::new(seed),
         }
@@ -132,6 +181,20 @@ impl Sim {
         self.seeds.stream(name)
     }
 
+    /// Stamps and stores one event: the now lane if due immediately, the
+    /// wheel otherwise. Past times clamp to the current clock.
+    fn schedule_event(&self, at: SimTime, event: EventKind) {
+        let mut inner = self.inner.lock();
+        let at = at.max(inner.now);
+        let seq = inner.seq;
+        inner.seq += 1;
+        if at == inner.now {
+            inner.now_lane.push_back(event);
+        } else {
+            inner.wheel.insert(at, seq, event);
+        }
+    }
+
     /// Schedules `f` to run at absolute time `at`.
     ///
     /// Events scheduled in the past run "now": they are clamped to the
@@ -141,15 +204,7 @@ impl Sim {
     where
         F: FnOnce(&Sim) + Send + 'static,
     {
-        let mut inner = self.inner.lock();
-        let at = at.max(inner.now);
-        let seq = inner.seq;
-        inner.seq += 1;
-        inner.queue.push(Scheduled {
-            at,
-            seq,
-            run: Box::new(f),
-        });
+        self.schedule_event(at, EventKind::Closure(Box::new(f)));
     }
 
     /// Schedules `f` to run after `delay` of virtual time.
@@ -161,33 +216,101 @@ impl Sim {
         self.schedule_at(at, f);
     }
 
-    /// Runs events until the queue is empty or the clock would pass
+    /// Schedules `target` to [`fire`](EventTarget::fire) with `token` at
+    /// absolute time `at`, with the same clamping rules as
+    /// [`Sim::schedule_at`] — but without allocating: the only per-event
+    /// cost is an `Arc` clone held inline in the event store.
+    pub fn schedule_target_at(&self, at: SimTime, target: Arc<dyn EventTarget>, token: u64) {
+        self.schedule_event(at, EventKind::Target { target, token });
+    }
+
+    /// Schedules `target` to [`fire`](EventTarget::fire) with `token` after
+    /// `delay` of virtual time. Allocation-free; see
+    /// [`Sim::schedule_target_at`].
+    pub fn schedule_target_in(&self, delay: Duration, target: Arc<dyn EventTarget>, token: u64) {
+        let at = self.now() + delay;
+        self.schedule_target_at(at, target, token);
+    }
+
+    /// Schedules a packet-hop event: at `at`, the packet continues at hop
+    /// `idx` of `links` on `net` (delivery once past the last hop).
+    pub(crate) fn schedule_packet_hop(
+        &self,
+        at: SimTime,
+        net: Network,
+        pkt: Packet,
+        links: Arc<Vec<LinkId>>,
+        idx: usize,
+    ) {
+        self.schedule_event(
+            at,
+            EventKind::PacketHop {
+                net,
+                pkt,
+                links,
+                idx,
+            },
+        );
+    }
+
+    fn dispatch(&self, event: EventKind) {
+        match event {
+            EventKind::Closure(f) => f(self),
+            EventKind::Target { target, token } => target.fire(self, token),
+            EventKind::PacketHop {
+                net,
+                pkt,
+                links,
+                idx,
+            } => net.packet_hop(pkt, &links, idx),
+        }
+    }
+
+    /// Runs events until the store is empty or the clock would pass
     /// `horizon`. Returns the number of events executed.
     ///
-    /// The clock is advanced to `horizon` on return (even if the queue
+    /// The clock is advanced to `horizon` on return (even if the store
     /// drained earlier), so back-to-back `run_until` calls observe a
-    /// monotonic clock.
+    /// monotonic clock. Events execute without the engine lock held; one
+    /// lock acquisition drains a whole same-timestamp batch. Must not be
+    /// called re-entrantly from inside an event.
     pub fn run_until(&self, horizon: SimTime) -> u64 {
-        let mut count = 0;
+        let mut count: u64 = 0;
+        let mut batch = mem::take(&mut self.inner.lock().spare);
         loop {
-            let event = {
+            {
                 let mut inner = self.inner.lock();
-                match inner.queue.peek() {
-                    Some(head) if head.at <= horizon => {
-                        let ev = inner.queue.pop().expect("peeked event vanished");
-                        inner.now = ev.at;
-                        inner.executed += 1;
-                        ev
-                    }
-                    _ => {
-                        inner.now = inner.now.max(horizon);
-                        break;
+                if inner.now_lane.is_empty() {
+                    match inner.wheel.next_at() {
+                        Some(t) if t <= horizon => {
+                            inner.now = t;
+                            let mut cohort = mem::take(&mut inner.cohort);
+                            inner.wheel.pop_cohort(t, &mut cohort);
+                            inner.now_lane.extend(cohort.drain(..).map(|e| e.value));
+                            inner.cohort = cohort;
+                        }
+                        _ => {
+                            inner.now = inner.now.max(horizon);
+                            inner.wheel.advance_to(horizon);
+                            break;
+                        }
                     }
                 }
-            };
-            (event.run)(self);
-            count += 1;
+                if inner.now > horizon {
+                    // Lane events are stamped `now`, already past the
+                    // horizon: leave them for a later run.
+                    break;
+                }
+                debug_assert!(batch.is_empty());
+                mem::swap(&mut batch, &mut inner.now_lane);
+                inner.executed += batch.len() as u64;
+            }
+            count += batch.len() as u64;
+            for event in batch.drain(..) {
+                self.dispatch(event);
+            }
         }
+        self.inner.lock().spare = batch;
         count
     }
 
@@ -197,7 +320,7 @@ impl Sim {
         self.run_until(horizon)
     }
 
-    /// Runs until the event queue is fully drained.
+    /// Runs until the event store is fully drained.
     ///
     /// Careful with self-rescheduling events (e.g. periodic timers): this
     /// will never return while any are alive. Returns the number of events
@@ -214,16 +337,18 @@ impl Sim {
         count
     }
 
-    /// Number of events executed so far.
+    /// Number of events executed so far. Events count as executed when
+    /// their batch is claimed for dispatch.
     #[must_use]
     pub fn events_executed(&self) -> u64 {
         self.inner.lock().executed
     }
 
-    /// Number of events currently pending in the queue.
+    /// Number of events currently pending in the store.
     #[must_use]
     pub fn events_pending(&self) -> usize {
-        self.inner.lock().queue.len()
+        let inner = self.inner.lock();
+        inner.now_lane.len() + inner.wheel.len()
     }
 }
 
@@ -328,5 +453,87 @@ mod tests {
     fn debug_is_nonempty() {
         let sim = Sim::new(3);
         assert!(format!("{sim:?}").contains("Sim"));
+    }
+
+    #[test]
+    fn zero_delay_events_run_fifo() {
+        // The now-lane fast path: a chain of zero-delay events interleaved
+        // with fresh zero-delay inserts must preserve global FIFO order.
+        let sim = Sim::new(0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..4u32 {
+            let log = log.clone();
+            sim.schedule_in(Duration::ZERO, move |sim| {
+                log.lock().push(i);
+                if i == 0 {
+                    let log = log.clone();
+                    sim.schedule_in(Duration::ZERO, move |_| log.lock().push(100));
+                }
+            });
+        }
+        sim.run_until(SimTime::ZERO);
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 100]);
+    }
+
+    #[test]
+    fn now_lane_respects_horizon_already_passed() {
+        // An event stamped "now" after the clock passed the next horizon
+        // must not run early — matches the heap engine's behaviour.
+        let sim = Sim::new(0);
+        sim.run_until(SimTime::from_secs(2));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        sim.schedule_in(Duration::ZERO, move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        // Horizon before `now`: nothing may run, clock must not regress.
+        let ran = sim.run_until(SimTime::from_secs(1));
+        assert_eq!(ran, 0);
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        assert_eq!(sim.events_pending(), 1);
+        let ran = sim.run_until(SimTime::from_secs(2));
+        assert_eq!(ran, 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    struct CountTarget(AtomicUsize, Mutex<Vec<u64>>);
+    impl EventTarget for CountTarget {
+        fn fire(self: Arc<Self>, _sim: &Sim, token: u64) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            self.1.lock().push(token);
+        }
+    }
+
+    #[test]
+    fn target_events_fire_with_tokens_in_order() {
+        let sim = Sim::new(0);
+        let target = Arc::new(CountTarget(AtomicUsize::new(0), Mutex::new(Vec::new())));
+        sim.schedule_target_in(Duration::from_millis(2), target.clone(), 7);
+        sim.schedule_target_in(Duration::from_millis(1), target.clone(), 3);
+        sim.schedule_target_at(SimTime::ZERO, target.clone(), 1);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(target.0.load(Ordering::SeqCst), 3);
+        assert_eq!(*target.1.lock(), vec![1, 3, 7]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn closures_and_targets_interleave_deterministically() {
+        let sim = Sim::new(0);
+        let target = Arc::new(CountTarget(AtomicUsize::new(0), Mutex::new(Vec::new())));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let at = SimTime::from_millis(5);
+        for i in 0..6u64 {
+            if i % 2 == 0 {
+                sim.schedule_target_at(at, target.clone(), i);
+            } else {
+                let log = log.clone();
+                sim.schedule_at(at, move |_| log.lock().push(i));
+            }
+        }
+        sim.run_until(SimTime::from_secs(1));
+        // Targets saw even tokens in order, closures odd — both FIFO.
+        assert_eq!(*target.1.lock(), vec![0, 2, 4]);
+        assert_eq!(*log.lock(), vec![1, 3, 5]);
     }
 }

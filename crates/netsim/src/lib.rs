@@ -40,6 +40,7 @@ pub mod iface;
 pub mod link;
 pub mod network;
 pub mod packet;
+pub mod reference;
 pub mod rng;
 pub mod stats;
 pub mod tcp;
@@ -48,8 +49,10 @@ pub mod time;
 pub mod trace;
 pub mod udp;
 pub mod udt;
+pub mod wheel;
 
-pub use engine::Sim;
+pub use engine::{EventTarget, Sim};
+pub use reference::ReferenceSim;
 pub use iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvents};
 pub use link::{DropReason, LinkConfig, LinkId, PolicerConfig};
 pub use network::{BindError, Network, NetworkStats, PacketSink};

@@ -304,12 +304,6 @@ mod tests {
     use super::*;
     use crate::rng::SeedSource;
 
-    impl SimTime {
-        fn from_millis_helper(ms: u64) -> SimTime {
-            SimTime::from_nanos(ms * 1_000_000)
-        }
-    }
-
     fn mk(cfg: LinkConfig) -> (Sim, Link) {
         let sim = Sim::new(1);
         let link = Link::new(cfg, SeedSource::new(1).stream("test-link"));
@@ -448,7 +442,7 @@ mod tests {
         // be monotone (reordering is possible).
         let sorted = times.windows(2).all(|w| w[0] <= w[1]);
         assert!(!sorted, "jitter should reorder back-to-back packets");
-        let base = SimTime::from_millis_helper(10);
+        let base = SimTime::from_millis(10);
         assert!(times.iter().all(|&t| t >= base));
         assert!(times.iter().all(|&t| t <= base + Duration::from_millis(6)));
     }

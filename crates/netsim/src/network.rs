@@ -46,7 +46,11 @@ pub struct NetworkStats {
 struct NetInner {
     node_names: Vec<String>,
     links: Vec<Arc<Link>>,
-    routes: HashMap<(NodeId, NodeId), Vec<LinkId>>,
+    /// Routes are shared via `Arc` so per-hop events carry a pointer clone
+    /// instead of a fresh `Vec` (or a boxed closure capturing one).
+    routes: HashMap<(NodeId, NodeId), Arc<Vec<LinkId>>>,
+    /// Cached empty route for loopback hop events.
+    empty_route: Arc<Vec<LinkId>>,
     sinks: HashMap<(NodeId, WireProtocol, u16), Arc<dyn PacketSink>>,
     next_ephemeral: HashMap<NodeId, u16>,
     stats: NetworkStats,
@@ -104,6 +108,7 @@ impl Network {
                 node_names: Vec::new(),
                 links: Vec::new(),
                 routes: HashMap::new(),
+                empty_route: Arc::new(Vec::new()),
                 sinks: HashMap::new(),
                 next_ephemeral: HashMap::new(),
                 stats: NetworkStats::default(),
@@ -159,13 +164,17 @@ impl Network {
     /// Installs the route for packets from `src` to `dst` as an ordered
     /// sequence of links. Replaces any existing route.
     pub fn set_route(&self, src: NodeId, dst: NodeId, links: Vec<LinkId>) {
-        self.inner.lock().routes.insert((src, dst), links);
+        self.inner.lock().routes.insert((src, dst), Arc::new(links));
     }
 
     /// Returns the currently installed route, if any.
     #[must_use]
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
-        self.inner.lock().routes.get(&(src, dst)).cloned()
+        self.inner
+            .lock()
+            .routes
+            .get(&(src, dst))
+            .map(|links| links.as_ref().clone())
     }
 
     /// Convenience: connects two nodes with a symmetric pair of directed
@@ -247,13 +256,22 @@ impl Network {
             inner.stats.sent += 1;
         }
         self.trace(&pkt, PacketEvent::Sent);
-        let route = self.route(pkt.src.node, pkt.dst.node);
+        let route = self
+            .inner
+            .lock()
+            .routes
+            .get(&(pkt.src.node, pkt.dst.node))
+            .cloned();
         match route {
-            Some(links) if !links.is_empty() => self.forward(pkt, links, 0),
+            Some(links) if !links.is_empty() => self.forward(pkt, &links, 0),
             Some(_) | None if pkt.src.node == pkt.dst.node => {
-                let delay = self.inner.lock().local_delay;
-                let net = self.clone();
-                self.sim.schedule_in(delay, move |_| net.deliver(pkt));
+                let (delay, empty) = {
+                    let inner = self.inner.lock();
+                    (inner.local_delay, inner.empty_route.clone())
+                };
+                // A hop event past the (empty) route's end is a delivery.
+                let at = self.sim.now() + delay;
+                self.sim.schedule_packet_hop(at, self.clone(), pkt, empty, 0);
             }
             Some(_) => {
                 // Empty route between distinct nodes: treat as unrouted.
@@ -267,23 +285,29 @@ impl Network {
         }
     }
 
-    fn forward(&self, pkt: Packet, links: Vec<LinkId>, idx: usize) {
+    /// Transmits `pkt` over hop `idx` of its route, scheduling the next hop
+    /// event at the link's computed arrival time.
+    fn forward(&self, pkt: Packet, links: &Arc<Vec<LinkId>>, idx: usize) {
         let link = self.inner.lock().links[links[idx].0 as usize].clone();
         match link.transmit(&self.sim, pkt.wire_size, pkt.protocol.is_udp_family()) {
             Verdict::DeliverAt(at) => {
-                let net = self.clone();
-                self.sim.schedule_at(at, move |_| {
-                    if idx + 1 < links.len() {
-                        net.forward(pkt, links, idx + 1);
-                    } else {
-                        net.deliver(pkt);
-                    }
-                });
+                self.sim
+                    .schedule_packet_hop(at, self.clone(), pkt, links.clone(), idx + 1);
             }
             Verdict::Dropped(reason) => {
                 self.inner.lock().stats.dropped_link += 1;
                 self.trace(&pkt, PacketEvent::Dropped(reason));
             }
+        }
+    }
+
+    /// Entry point for scheduled packet-hop events: continue along the route
+    /// at `idx`, or deliver once past its end.
+    pub(crate) fn packet_hop(&self, pkt: Packet, links: &Arc<Vec<LinkId>>, idx: usize) {
+        if idx < links.len() {
+            self.forward(pkt, links, idx);
+        } else {
+            self.deliver(pkt);
         }
     }
 

@@ -293,6 +293,142 @@ impl StreamEvents for PatternSender {
     }
 }
 
+/// One event in an engine-churn workload (see [`run_churn`]).
+///
+/// For top-level events of a [`ChurnPhase`], `time` is the *absolute* due
+/// time in nanoseconds — possibly in the past, exercising clamp-to-now. For
+/// `children`, `time` is a *delay* relative to the parent's fire time
+/// (zero lands in the engine's now lane), exercising re-entrant scheduling
+/// from inside an executing event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Absolute due time (roots) or parent-relative delay (children), ns.
+    pub time: u64,
+    /// Identifies the event in the resulting trace.
+    pub label: u32,
+    /// Events this one schedules from inside its own execution.
+    pub children: Vec<ChurnEvent>,
+}
+
+/// One scheduling phase: inject `ops`, then run to `horizon` (absolute ns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnPhase {
+    /// Horizon passed to `run_until` after scheduling this phase's ops.
+    pub horizon: u64,
+    /// Events scheduled (in order) before running.
+    pub ops: Vec<ChurnEvent>,
+}
+
+/// Everything observable about one churn run; two engines implementing the
+/// same `(time, seq)` contract must produce equal traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnTrace {
+    /// `(fire time ns, label)` for every executed event, in execution order.
+    pub firings: Vec<(u64, u32)>,
+    /// Events executed per phase, as reported by `run_until`.
+    pub executed_per_phase: Vec<u64>,
+    /// Final cumulative `events_executed` counter.
+    pub events_executed: u64,
+    /// Events still pending after the last phase.
+    pub events_pending: usize,
+    /// Final clock value in ns.
+    pub final_now: u64,
+}
+
+/// Minimal scheduling surface shared by the production and reference
+/// engines, so differential tests and benchmarks can drive both with the
+/// same workload.
+pub trait ChurnEngine: Clone + Send + Sync + 'static {
+    /// Schedules a boxed closure at an absolute time in nanoseconds.
+    fn schedule_at_ns(&self, at: u64, f: Box<dyn FnOnce(&Self) + Send>);
+    /// Runs events up to an absolute horizon in ns; returns events executed.
+    fn run_until_ns(&self, horizon: u64) -> u64;
+    /// Current clock in ns.
+    fn now_ns(&self) -> u64;
+    /// Cumulative executed-events counter.
+    fn events_executed(&self) -> u64;
+    /// Currently pending events.
+    fn events_pending(&self) -> usize;
+}
+
+impl ChurnEngine for Sim {
+    fn schedule_at_ns(&self, at: u64, f: Box<dyn FnOnce(&Self) + Send>) {
+        self.schedule_at(SimTime::from_nanos(at), f);
+    }
+    fn run_until_ns(&self, horizon: u64) -> u64 {
+        self.run_until(SimTime::from_nanos(horizon))
+    }
+    fn now_ns(&self) -> u64 {
+        self.now().as_nanos()
+    }
+    fn events_executed(&self) -> u64 {
+        Sim::events_executed(self)
+    }
+    fn events_pending(&self) -> usize {
+        Sim::events_pending(self)
+    }
+}
+
+impl ChurnEngine for crate::reference::ReferenceSim {
+    fn schedule_at_ns(&self, at: u64, f: Box<dyn FnOnce(&Self) + Send>) {
+        self.schedule_at(SimTime::from_nanos(at), f);
+    }
+    fn run_until_ns(&self, horizon: u64) -> u64 {
+        self.run_until(SimTime::from_nanos(horizon))
+    }
+    fn now_ns(&self) -> u64 {
+        self.now().as_nanos()
+    }
+    fn events_executed(&self) -> u64 {
+        crate::reference::ReferenceSim::events_executed(self)
+    }
+    fn events_pending(&self) -> usize {
+        crate::reference::ReferenceSim::events_pending(self)
+    }
+}
+
+fn schedule_churn<E: ChurnEngine>(
+    engine: &E,
+    log: Arc<Mutex<Vec<(u64, u32)>>>,
+    at: u64,
+    event: ChurnEvent,
+) {
+    engine.schedule_at_ns(
+        at,
+        Box::new(move |e: &E| {
+            let now = e.now_ns();
+            log.lock().push((now, event.label));
+            for child in event.children {
+                let child_at = now.saturating_add(child.time);
+                schedule_churn(e, log.clone(), child_at, child);
+            }
+        }),
+    );
+}
+
+/// Runs a churn workload and returns its execution trace.
+///
+/// Used by the engine determinism tests to compare the timing-wheel engine
+/// against the heap-based reference oracle on randomized schedules.
+pub fn run_churn<E: ChurnEngine>(engine: &E, phases: &[ChurnPhase]) -> ChurnTrace {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut executed_per_phase = Vec::with_capacity(phases.len());
+    for phase in phases {
+        for op in &phase.ops {
+            schedule_churn(engine, log.clone(), op.time, op.clone());
+        }
+        executed_per_phase.push(engine.run_until_ns(phase.horizon));
+    }
+    let firings = log.lock().clone();
+    ChurnTrace {
+        firings,
+        executed_per_phase,
+        events_executed: engine.events_executed(),
+        events_pending: engine.events_pending(),
+        final_now: engine.now_ns(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,18 @@ impl SimTime {
         SimTime(secs * 1_000_000_000)
     }
 
+    /// Creates a `SimTime` from whole milliseconds since simulation start.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates a `SimTime` from whole microseconds since simulation start.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
     /// Creates a `SimTime` from fractional seconds since simulation start.
     ///
     /// # Panics
@@ -172,6 +184,13 @@ mod tests {
         assert_eq!(b.duration_since(a), Duration::from_secs(1));
         assert_eq!(a.duration_since(b), Duration::ZERO);
         assert_eq!(a - b, Duration::ZERO);
+    }
+
+    #[test]
+    fn from_millis_and_micros() {
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimTime::from_millis(1_000), SimTime::from_secs(1));
     }
 
     #[test]

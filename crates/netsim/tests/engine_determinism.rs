@@ -1,0 +1,114 @@
+//! Differential determinism tests for the timing-wheel engine.
+//!
+//! The heap-based [`ReferenceSim`] defines the `(time, seq)` execution
+//! contract. These properties run randomized schedules — past events that
+//! clamp to "now", zero-delay now-lane events, far-future events that land
+//! in high wheel levels or the overflow heap, and re-entrant scheduling
+//! from inside executing events — through both engines and require
+//! identical traces: same `(fire time, label)` sequence, same per-phase
+//! executed counts, same final clock and counters.
+
+use proptest::prelude::*;
+
+use kmsg_netsim::engine::Sim;
+use kmsg_netsim::reference::ReferenceSim;
+use kmsg_netsim::testutil::{run_churn, ChurnEvent, ChurnPhase};
+
+/// Child delays relative to the parent's fire time; heavily weighted toward
+/// the zero-delay now lane (the simulation hot path).
+fn child_delay() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        3 => Just(0u64),
+        2 => 1u64..2_000,
+        2 => 1u64..5_000_000,
+        1 => (20u32..=40u32).prop_map(|s| 1u64 << s),
+    ]
+}
+
+/// Absolute due times for top-level events: some in the (likely) past, some
+/// near phase horizons, some far enough out to exercise the coarsest wheel
+/// levels and the overflow heap.
+fn root_time() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        3 => 0u64..1 << 22,
+        3 => 0u64..30_000_000,
+        1 => (30u32..=44u32).prop_map(|s| 1u64 << s),
+    ]
+}
+
+fn churn_event() -> impl Strategy<Value = ChurnEvent> {
+    let leaf = (child_delay(), any::<u32>()).prop_map(|(time, label)| ChurnEvent {
+        time,
+        label,
+        children: Vec::new(),
+    });
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        (
+            child_delay(),
+            any::<u32>(),
+            prop::collection::vec(inner, 0..3),
+        )
+            .prop_map(|(time, label, children)| ChurnEvent {
+                time,
+                label,
+                children,
+            })
+    })
+}
+
+fn root_event() -> impl Strategy<Value = ChurnEvent> {
+    (
+        root_time(),
+        any::<u32>(),
+        prop::collection::vec(churn_event(), 0..3),
+    )
+        .prop_map(|(time, label, children)| ChurnEvent {
+            time,
+            label,
+            children,
+        })
+}
+
+fn phases() -> impl Strategy<Value = Vec<ChurnPhase>> {
+    prop::collection::vec(
+        (1u64..10_000_000, prop::collection::vec(root_event(), 0..12)),
+        1..5,
+    )
+    .prop_map(|raw| {
+        let mut horizon = 0u64;
+        let mut phases: Vec<ChurnPhase> = raw
+            .into_iter()
+            .map(|(step, ops)| {
+                horizon += step;
+                ChurnPhase { horizon, ops }
+            })
+            .collect();
+        // Final drain phase: far past every possible far-future event.
+        phases.push(ChurnPhase {
+            horizon: 1 << 46,
+            ops: Vec::new(),
+        });
+        phases
+    })
+}
+
+proptest! {
+    /// The wheel engine and the heap oracle execute any schedule
+    /// identically.
+    #[test]
+    fn wheel_engine_matches_heap_oracle(phases in phases()) {
+        let wheel = run_churn(&Sim::new(1), &phases);
+        let heap = run_churn(&ReferenceSim::new(), &phases);
+        prop_assert_eq!(&wheel, &heap);
+        // The drain phase must have flushed everything.
+        prop_assert_eq!(wheel.events_pending, 0);
+    }
+
+    /// Two runs of the same schedule on the wheel engine are identical.
+    #[test]
+    fn wheel_engine_is_deterministic(phases in phases()) {
+        let a = run_churn(&Sim::new(7), &phases);
+        let b = run_churn(&Sim::new(7), &phases);
+        prop_assert_eq!(a, b);
+    }
+}
