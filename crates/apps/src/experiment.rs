@@ -11,6 +11,7 @@ use std::time::Duration;
 use kmsg_core::data::FlowPoint;
 use kmsg_core::prelude::*;
 use kmsg_netsim::rng::SeedSource;
+use kmsg_netsim::{Recorder, RecorderTracer};
 
 use crate::dataset::Dataset;
 use crate::ping::{PingStats, Pinger, PingerConfig, Ponger};
@@ -70,6 +71,11 @@ pub struct ExperimentConfig {
     pub max_sim_time: Duration,
     /// Receiver sampling window (throughput / wire-ratio series).
     pub sample_every: Duration,
+    /// Enable the flight recorder: every layer's telemetry events (TCP
+    /// cwnd transitions, UDT rate updates, link drops, scheduler depth,
+    /// learner decisions, per-packet traces) are captured in the sim's
+    /// [`Recorder`], exposed via [`ExperimentResult::recorder`].
+    pub telemetry: bool,
 }
 
 impl ExperimentConfig {
@@ -91,6 +97,7 @@ impl ExperimentConfig {
             use_disk: true,
             max_sim_time: Duration::from_secs(1200),
             sample_every: Duration::from_secs(1),
+            telemetry: false,
         }
     }
 
@@ -112,6 +119,7 @@ impl ExperimentConfig {
             use_disk: true,
             max_sim_time: duration,
             sample_every: Duration::from_secs(1),
+            telemetry: false,
         }
     }
 }
@@ -138,6 +146,10 @@ pub struct ExperimentResult {
     pub receiver_net: MiddlewareStats,
     /// Simulation events executed (diagnostics).
     pub events: u64,
+    /// The simulation's telemetry recorder — populated when
+    /// [`ExperimentConfig::telemetry`] was on, otherwise empty. Export with
+    /// [`Recorder::write_snapshot`] / [`Recorder::write_jsonl`].
+    pub recorder: Recorder,
 }
 
 /// Runs one experiment to completion (transfer finished or the time wall).
@@ -149,6 +161,13 @@ pub struct ExperimentResult {
 #[must_use]
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let world = two_host_world(cfg.seed, &cfg.setup);
+    if cfg.telemetry {
+        world.sim.recorder().enable();
+        // Fold the packet tracer into the same flight-recorder stream.
+        world
+            .net
+            .set_tracer(RecorderTracer::new(world.sim.recorder().clone()));
+    }
     let a_addr = NetAddress::new(world.host_a, SENDER_PORT);
     let b_addr = NetAddress::new(world.host_b, RECEIVER_PORT);
 
@@ -161,6 +180,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     // non-DATA traffic, so it is always safe to include).
     let data_cfg = DataNetworkConfig {
         seeds: SeedSource::new(cfg.seed ^ 0xD47A),
+        recorder: world.sim.recorder().clone(),
         ..cfg.data_cfg.clone()
     };
     let dn = kmsg_core::data::create_data_network(
@@ -289,6 +309,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         sender_net,
         receiver_net,
         events: world.sim.events_executed(),
+        recorder: world.sim.recorder().clone(),
     }
 }
 
@@ -341,6 +362,44 @@ mod tests {
             "lossy 320 ms TCP must collapse, got {:.1} MB/s",
             thr / 1e6
         );
+    }
+
+    #[test]
+    fn telemetry_streams_are_byte_identical_per_seed() {
+        // The full stack instrumented (transports, links, scheduler,
+        // learner, packet tracer): two runs with the same seed must emit
+        // byte-identical flight-recorder JSONL and snapshot JSON.
+        let run = || {
+            let dataset = Dataset::random(2_000_000, 5);
+            let mut cfg = ExperimentConfig::transfer(Setup::Eu2Us, Transport::Data, dataset, 77);
+            cfg.max_sim_time = Duration::from_secs(30);
+            cfg.telemetry = true;
+            let result = run_experiment(&cfg);
+            (result.recorder.to_jsonl(), result.recorder.snapshot_json())
+        };
+        let (jsonl_a, snap_a) = run();
+        let (jsonl_b, snap_b) = run();
+        assert!(!jsonl_a.is_empty(), "telemetry must capture events");
+        assert!(
+            jsonl_a.lines().count() > 100,
+            "a DATA transfer should produce a rich event stream, got {}",
+            jsonl_a.lines().count()
+        );
+        assert_eq!(jsonl_a, jsonl_b, "flight-recorder JSONL must be reproducible");
+        assert_eq!(snap_a, snap_b, "snapshot JSON must be reproducible");
+    }
+
+    #[test]
+    fn telemetry_off_keeps_recorder_empty() {
+        let cfg = ExperimentConfig::ping_only(
+            Setup::EuVpc,
+            PingSettings::default(),
+            5,
+            Duration::from_secs(2),
+        );
+        let result = run_experiment(&cfg);
+        assert_eq!(result.recorder.event_count(), 0);
+        assert_eq!(result.recorder.recorded_total(), 0);
     }
 
     #[test]

@@ -122,5 +122,40 @@ fn bench_engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_throughput);
+/// Telemetry overhead guard: the same zero-delay closure workload with one
+/// `Recorder::record` call per event, recorder disabled vs enabled. The
+/// disabled case must track `engine_throughput/wheel/zero_delay` (within a
+/// few percent) — a disabled recorder costs one relaxed load and a branch.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(EVENTS));
+
+    let run = |enable: bool| {
+        let sim = Sim::new(1);
+        if enable {
+            sim.recorder().enable();
+        }
+        let hits = Arc::new(AtomicU64::new(0));
+        for i in 0..EVENTS {
+            let h = hits.clone();
+            sim.schedule_in(Duration::ZERO, move |sim: &Sim| {
+                let n = h.fetch_add(1, Ordering::Relaxed);
+                sim.recorder().record(
+                    sim.now().as_nanos(),
+                    kmsg_netsim::EventKind::Mark { id: i, value: n },
+                );
+            });
+        }
+        sim.run_until(SimTime::ZERO);
+        assert_eq!(hits.load(Ordering::Relaxed), EVENTS);
+    };
+
+    group.bench_function("recorder_disabled", |b| b.iter(|| run(false)));
+    group.bench_function("recorder_enabled", |b| b.iter(|| run(true)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput, bench_telemetry_overhead);
 criterion_main!(benches);

@@ -72,11 +72,11 @@ enum ValueBackend {
 }
 
 fn main() {
-    println!(
+    kmsg_telemetry::log_info!(
         "Ablation C — learner variants on the synthetic quadratic environment \
          (peak at -0.8, {EPISODES} episodes, {SEEDS} seeds)\n"
     );
-    println!(
+    kmsg_telemetry::log_info!(
         "{:<34} {:>12} {:>18}",
         "variant", "final |err|", "episodes to peak"
     );
@@ -140,9 +140,9 @@ fn main() {
         } else {
             format!("{:.0} ({}/{} seeds)", hit_sum as f64 / hits as f64, hits, SEEDS)
         };
-        println!("{name:<34} {mean_err:>12.3} {hit_str:>18}");
+        kmsg_telemetry::log_info!("{name:<34} {mean_err:>12.3} {hit_str:>18}");
     }
-    println!(
+    kmsg_telemetry::log_info!(
         "\nExpected shape: the model/approx backends dominate the dense matrix;\n\
          the paper's replacing trace is at least as stable as accumulating;\n\
          Watkins Q(lambda) is competitive but its trace cutting discards\n\

@@ -15,8 +15,8 @@ use kmsg_netsim::rng::SeedSource;
 
 fn main() {
     let seeds = SeedSource::new(3);
-    println!("Ablation B — pattern construction (deviation = worst prefix |achieved - target|)\n");
-    println!(
+    kmsg_telemetry::log_info!("Ablation B — pattern construction (deviation = worst prefix |achieved - target|)\n");
+    kmsg_telemetry::log_info!(
         "{:>7} {:>5} {:>5} | {:>6} {:>6} | {:>8} {:>8} {:>8} {:>8}",
         "target", "p", "q", "c(p)", "c(p+1)", "dev(p)", "dev(p+1)", "dev(min)", "dev(rand)"
     );
@@ -42,7 +42,7 @@ fn main() {
             rand_dev += max_prefix_deviation(&run, prob);
         }
         rand_dev /= f64::from(reps);
-        println!(
+        kmsg_telemetry::log_info!(
             "{:>7.3} {:>5} {:>5} | {:>6} {:>6} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
             prob,
             f.p,
@@ -55,7 +55,7 @@ fn main() {
             rand_dev,
         );
     }
-    println!(
+    kmsg_telemetry::log_info!(
         "\nExpected shape: deterministic patterns dominate the probabilistic\n\
          baseline everywhere; where c(p+1) < c(p) the minimal-rest rule adopts\n\
          the p+1 construction and its deviation column tracks the better one."

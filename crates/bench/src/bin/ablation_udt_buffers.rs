@@ -15,10 +15,10 @@ fn main() {
     let args = kmsg_bench::BenchArgs::parse();
     let size = if args.quick { 12 * 1024 * 1024 } else { 64 * 1024 * 1024 };
     let dataset = Dataset::climate(size, args.seed);
-    println!(
+    kmsg_telemetry::log_info!(
         "Ablation A — UDT throughput at EU2AU (320 ms RTT) vs protocol buffer size\n"
     );
-    println!("{:>10} {:>14} {:>16}", "buffers", "window/RTT cap", "throughput");
+    kmsg_telemetry::log_info!("{:>10} {:>14} {:>16}", "buffers", "window/RTT cap", "throughput");
     kmsg_bench::rule(44);
     for buf_mb in [1usize, 2, 4, 8, 12, 32, 100] {
         let buf = buf_mb * 1024 * 1024;
@@ -38,14 +38,14 @@ fn main() {
         let result = run_experiment(&cfg);
         assert!(result.verified);
         let thr = result.throughput.expect("completed");
-        println!(
+        kmsg_telemetry::log_info!(
             "{:>7} MB {:>11.2} MB/s {:>13.2} MB/s",
             buf_mb,
             cap / 1e6,
             thr / 1e6
         );
     }
-    println!(
+    kmsg_telemetry::log_info!(
         "\nExpected shape: throughput grows with the buffer while window/RTT\n\
          binds, then saturates once the ~10 MB/s policer (not the window)\n\
          becomes the bottleneck — the paper's 12 MB -> 100 MB fix moves the\n\

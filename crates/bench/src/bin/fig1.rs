@@ -56,12 +56,15 @@ fn main() {
     let args = kmsg_bench::BenchArgs::parse();
     let entries = if args.quick { 20_000 } else { ENTRIES };
     let seeds = SeedSource::new(args.seed);
+    // Summary gauges land in telemetry.json for the CI artifact.
+    let rec = kmsg_telemetry::Recorder::new();
+    rec.enable();
     // The paper's x-axis: target ratios as the probability of UDT.
     let targets = [(0.0, "0"), (0.03, "3/100"), (1.0 / 3.0, "1/3"), (0.8, "4/5")];
 
-    println!("Figure 1 — observed selection ratio distributions");
-    println!("(signed form: -1.0 = 100% TCP, +1.0 = 100% UDT)\n");
-    println!(
+    kmsg_telemetry::log_info!("Figure 1 — observed selection ratio distributions");
+    kmsg_telemetry::log_info!("(signed form: -1.0 = 100% TCP, +1.0 = 100% UDT)\n");
+    kmsg_telemetry::log_info!(
         "{:>7} {:>8} {:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "target", "(signed)", "dataset", "min", "p25", "median", "p75", "max", "mean"
     );
@@ -82,8 +85,12 @@ fn main() {
                 };
                 let stream = stream_of(policy.as_mut(), entries + window);
                 let ratios = windowed_ratios(&stream, window);
-                let s = Summary::of(&ratios);
-                println!(
+                let s = Summary::of(&ratios).expect("windowed ratio stream is non-empty");
+                let metric = format!("fig1/{label}/{window_label}/{name}");
+                rec.gauge(&format!("{metric}/median")).set(s.median);
+                rec.gauge(&format!("{metric}/mean")).set(s.mean);
+                rec.gauge(&format!("{metric}/iqr")).set(s.p75 - s.p25);
+                kmsg_telemetry::log_info!(
                     "{:>7} {:>8} {:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
                     label,
                     kmsg_bench::fmt_ratio(ratio.signed()),
@@ -99,10 +106,13 @@ fn main() {
         }
         kmsg_bench::rule(96);
     }
-    println!(
+    kmsg_telemetry::log_info!(
         "\nExpected shape (paper): Pattern boxes hug the target, especially for\n\
          full episodes; Random shows ~0.1 skew at episode scale and up to ~0.5\n\
          at wire scale. At 3/100 even Pattern cannot be tight within 16\n\
          messages (majority runs exceed the wire window)."
     );
+    rec.write_snapshot("telemetry.json")
+        .expect("write telemetry.json");
+    kmsg_telemetry::log_info!("\nWrote telemetry.json");
 }

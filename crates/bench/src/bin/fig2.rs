@@ -17,7 +17,7 @@ use kmsg_core::Transport;
 fn main() {
     let args = kmsg_bench::BenchArgs::parse();
     let secs = if args.quick { 20 } else { 60 };
-    println!(
+    kmsg_telemetry::log_info!(
         "Figure 2 — PSP impact on throughput and true protocol ratio ({secs} s, analysis link)"
     );
 
@@ -32,7 +32,7 @@ fn main() {
         let result = learner_env::run_timed(Transport::Data, Some(cfg), secs, args.seed);
         learner_env::print_learner_table(label, &result, (tcp_ref, udt_ref));
     }
-    println!(
+    kmsg_telemetry::log_info!(
         "\nExpected shape (paper): both learners converge to the same\n\
          throughput; the probabilistic run's wire ratio is smoother but less\n\
          accurate, costing it slightly slower convergence."

@@ -14,7 +14,7 @@ use kmsg_core::Transport;
 fn main() {
     let args = kmsg_bench::BenchArgs::parse();
     let secs = if args.quick { 30 } else { 120 };
-    println!("Figure 5 — TD learner, model-collapsed V(s) ({secs} s, analysis link)");
+    kmsg_telemetry::log_info!("Figure 5 — TD learner, model-collapsed V(s) ({secs} s, analysis link)");
     let tcp_ref = learner_env::reference_throughput(Transport::Tcp, 20, args.seed);
     let udt_ref = learner_env::reference_throughput(Transport::Udt, 20, args.seed);
     let cfg = learner_env::td_data_cfg(
@@ -26,7 +26,7 @@ fn main() {
     let result = learner_env::run_timed(Transport::Data, Some(cfg), secs, args.seed);
     learner_env::print_learner_table("model-collapsed V(s)", &result, (tcp_ref, udt_ref));
         // Single traces are seed-noisy; summarise a few seeds for context.
-    println!("\nmulti-seed tails (final quarter):");
+    kmsg_telemetry::log_info!("\nmulti-seed tails (final quarter):");
     for extra in 1..4 {
         let seed = args.seed + extra;
         let cfg = learner_env::td_data_cfg(
@@ -37,13 +37,13 @@ fn main() {
         );
         let r = learner_env::run_timed(Transport::Data, Some(cfg), secs, seed);
         let (thr, ratio) = kmsg_bench::learner_summary::tail(&r);
-        println!(
+        kmsg_telemetry::log_info!(
             "  seed {seed}: mean tail throughput {} MB/s, mean tail ratio {}",
             kmsg_bench::fmt_mbps(thr),
             kmsg_bench::fmt_ratio(ratio)
         );
     }
-    println!(
+    kmsg_telemetry::log_info!(
         "\nExpected shape (paper): convergence to a TCP-heavy ratio within\n\
          roughly 20 s, then throughput tracking the TCP reference."
     );

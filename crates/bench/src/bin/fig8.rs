@@ -45,11 +45,11 @@ fn main() {
     };
     let baseline_time = Duration::from_secs(if args.quick { 10 } else { 30 });
 
-    println!(
+    kmsg_telemetry::log_info!(
         "Figure 8 — control-message RTTs (ms), with and without parallel {} MB data transfer",
         args.size / (1024 * 1024)
     );
-    println!(
+    kmsg_telemetry::log_info!(
         "\n{:<8} {:>12} {:>12} {:>16} {:>16} {:>17}",
         "setup", "TCP pings", "UDP pings", "TCP ping+TCPdata", "TCP ping+UDTdata", "TCP ping+DATAdata"
     );
@@ -73,9 +73,9 @@ fn main() {
             row.push_str(&format!(" {rtt:>width$.2}", width = width));
             let _ = n;
         }
-        println!("{row}");
+        kmsg_telemetry::log_info!("{row}");
     }
-    println!(
+    kmsg_telemetry::log_info!(
         "\nExpected shape (paper, log scale): sharing the TCP channel with data\n\
          costs orders of magnitude of control latency; data over UDT leaves\n\
          TCP pings near baseline; DATA sits between the extremes but far\n\

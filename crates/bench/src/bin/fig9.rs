@@ -18,13 +18,13 @@ use kmsg_core::Transport;
 fn main() {
     let args = kmsg_bench::BenchArgs::parse();
     let dataset = Dataset::climate(args.size, args.seed);
-    println!(
+    kmsg_telemetry::log_info!(
         "Figure 9 — disk-to-disk transfer throughput vs RTT ({} MB dataset, \
          >= {} runs, RSE < 10% stopping rule)",
         args.size / (1024 * 1024),
         args.min_reps
     );
-    println!(
+    kmsg_telemetry::log_info!(
         "\n{:<8} {:>8} | {:>22} {:>22} {:>22}",
         "setup", "RTT", "TCP (MB/s ± CI95)", "UDT (MB/s ± CI95)", "DATA (MB/s ± CI95)"
     );
@@ -64,9 +64,9 @@ fn main() {
                 stats.ci95_half_width()
             ));
         }
-        println!("{row}");
+        kmsg_telemetry::log_info!("{row}");
     }
-    println!(
+    kmsg_telemetry::log_info!(
         "\nExpected shape (paper): TCP ~disk speed at <= 3 ms RTT, then a sharp\n\
          drop-off; UDT consistent near 10 MB/s on every real-network setup\n\
          (Amazon's UDP rate limit) and buffer/queue-limited locally; DATA\n\

@@ -182,20 +182,20 @@ fn main() {
     let args = kmsg_bench::BenchArgs::parse();
     let engine_events: u64 = if args.quick { 200_000 } else { 1_000_000 };
 
-    println!("Engine throughput probe ({engine_events} events per run):\n");
-    println!(
+    kmsg_telemetry::log_info!("Engine throughput probe ({engine_events} events per run):\n");
+    kmsg_telemetry::log_info!(
         "{:<26} {:>12} {:>10} {:>16}",
         "engine/workload", "events", "wall", "events/sec"
     );
     kmsg_bench::rule(68);
     let engines = engine_probes(engine_events);
     for p in &engines {
-        println!(
+        kmsg_telemetry::log_info!(
             "{:<26} {:>12} {:>8.3} s {:>16.0}",
             p.name, p.events, p.wall_secs, p.events_per_sec
         );
     }
-    println!(
+    kmsg_telemetry::log_info!(
         "\nwheel vs heap speedup: zero-delay {:.2}x, jittered {:.2}x, \
          zero-delay targets {:.2}x\n",
         speedup(&engines, "wheel/zero_delay", "heap/zero_delay"),
@@ -208,11 +208,11 @@ fn main() {
     } else {
         PAPER_DATASET_SIZE
     };
-    println!(
+    kmsg_telemetry::log_info!(
         "Calibration probe ({} MB dataset):\n",
         dataset_size / (1024 * 1024)
     );
-    println!(
+    kmsg_telemetry::log_info!(
         "{:<8} {:<5} {:>10} {:>12} {:>12} {:>9}",
         "setup", "proto", "sim time", "throughput", "events", "wall"
     );
@@ -234,7 +234,7 @@ fn main() {
         let r = run_experiment(&cfg);
         assert!(r.verified, "calibration transfers must verify");
         let wall_secs = wall.elapsed().as_secs_f64();
-        println!(
+        kmsg_telemetry::log_info!(
             "{:<8} {:<5} {:>8.1} s {:>9.2} MB/s {:>12} {:>7.1} s",
             setup.label(),
             proto.to_string(),
@@ -252,12 +252,33 @@ fn main() {
             wall_secs,
         });
     }
-    println!(
+    kmsg_telemetry::log_info!(
         "\nCalibration targets (paper, §V): TCP disk-limited (~110 MB/s) at\n\
          Local/EU-VPC and collapsing to ~1-2 MB/s on the lossy WAN paths;\n\
          UDT near the ~10 MB/s EC2 UDP policer on every real-network setup."
     );
 
     write_json(engine_events, &engines, &transfers);
-    println!("\nWrote BENCH_engine.json");
+
+    // Flight-recorder sample: one small mixed-transport transfer on the
+    // lossy WAN path with telemetry enabled. The exported files contain
+    // only sim-time-derived data (wall-clock rates stay in
+    // BENCH_engine.json), so they are byte-identical for a given seed.
+    let tel_size = 4 * 1024 * 1024;
+    let dataset = Dataset::climate(tel_size, args.seed);
+    let mut cfg = ExperimentConfig::transfer(Setup::Eu2Us, Transport::Data, dataset, args.seed);
+    cfg.telemetry = true;
+    let r = run_experiment(&cfg);
+    r.recorder
+        .write_snapshot("telemetry.json")
+        .expect("write telemetry.json");
+    r.recorder
+        .write_jsonl("telemetry.jsonl")
+        .expect("write telemetry.jsonl");
+    kmsg_telemetry::log_info!(
+        "\nWrote BENCH_engine.json, telemetry.json, telemetry.jsonl \
+         ({} events recorded, {} retained)",
+        r.recorder.recorded_total(),
+        r.recorder.event_count()
+    );
 }

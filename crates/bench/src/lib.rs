@@ -10,7 +10,8 @@
 //! * `--size-mb N` — dataset size in MiB (default: the paper's 395);
 //! * `--reps N` — maximum repetitions per data point (default 10);
 //! * `--seed N` — root experiment seed (default 1);
-//! * `--quick` — shorthand for a small dataset and few reps (CI-speed).
+//! * `--quick` — shorthand for a small dataset and few reps (CI-speed);
+//! * `--verbose` — raise the log level to `Debug` (extra diagnostics).
 
 #![warn(missing_docs)]
 
@@ -29,6 +30,8 @@ pub struct BenchArgs {
     pub seed: u64,
     /// Quick mode (CI-scale).
     pub quick: bool,
+    /// Verbose mode: `--verbose` raises logging to `Debug`.
+    pub verbose: bool,
 }
 
 impl Default for BenchArgs {
@@ -39,12 +42,14 @@ impl Default for BenchArgs {
             min_reps: 5,
             seed: 1,
             quick: false,
+            verbose: false,
         }
     }
 }
 
 impl BenchArgs {
-    /// Parses `std::env::args`.
+    /// Parses `std::env::args` and applies the logging flags (so every
+    /// figure binary honours `--verbose` without extra wiring).
     ///
     /// # Panics
     ///
@@ -81,9 +86,11 @@ impl BenchArgs {
                     out.reps = 3;
                     out.min_reps = 3;
                 }
+                "--verbose" => out.verbose = true,
                 other => panic!("unknown flag {other}; see kmsg-bench docs"),
             }
         }
+        kmsg_telemetry::log::set_verbose(out.verbose);
         out
     }
 }
@@ -107,9 +114,9 @@ pub fn repeat_until_stable(
     stats
 }
 
-/// Prints a horizontal rule sized to `width`.
+/// Prints a horizontal rule sized to `width` (at `Info` level).
 pub fn rule(width: usize) {
-    println!("{}", "-".repeat(width));
+    kmsg_telemetry::log_info!("{}", "-".repeat(width));
 }
 
 /// Formats a `[-1, 1]` signed ratio.
@@ -223,12 +230,12 @@ pub mod learner_env {
     /// receiver-observed throughput and true wire ratio, with TCP/UDT
     /// reference means in the header.
     pub fn print_learner_table(label: &str, result: &ExperimentResult, refs: (f64, f64)) {
-        println!(
+        kmsg_telemetry::log_info!(
             "\n{label}  (references: TCP {} MB/s, UDT {} MB/s)",
             crate::fmt_mbps(refs.0),
             crate::fmt_mbps(refs.1)
         );
-        println!(
+        kmsg_telemetry::log_info!(
             "{:>5} {:>14} {:>12} {:>12}",
             "t", "throughput", "target r", "wire r"
         );
@@ -244,7 +251,7 @@ pub mod learner_env {
                     break;
                 }
             }
-            println!(
+            kmsg_telemetry::log_info!(
                 "{:>4.0}s {:>11.2} MB/s {:>12} {:>12}",
                 s.time.as_secs_f64(),
                 s.throughput / 1e6,
@@ -344,6 +351,7 @@ mod summary_tests {
             sender_net: MiddlewareStats::default(),
             receiver_net: MiddlewareStats::default(),
             events: 0,
+            recorder: kmsg_telemetry::Recorder::new(),
         };
         let (thr, ratio) = crate::learner_summary::tail(&result);
         assert_eq!(thr, 100.0, "tail = last quarter only");

@@ -112,6 +112,10 @@ pub struct ComponentCore {
     /// Lazily-created shared receiver for one-shot timeouts, so scheduling
     /// a timer never allocates per event.
     timeout_sink: OnceLock<Arc<crate::timer::TimeoutSink>>,
+    /// Telemetry probe installed by the first
+    /// [`SimulationScheduler`](crate::scheduler::SimulationScheduler) that
+    /// schedules this core; absent under the thread-pool scheduler.
+    pub(crate) probe: OnceLock<crate::scheduler::SchedProbe>,
 }
 
 impl std::fmt::Debug for ComponentCore {
@@ -136,6 +140,7 @@ impl ComponentCore {
             cancelled_timeouts: Mutex::new(HashSet::new()),
             runner: OnceLock::new(),
             timeout_sink: OnceLock::new(),
+            probe: OnceLock::new(),
         })
     }
 
@@ -196,11 +201,36 @@ impl ComponentCore {
 
     /// Executes one scheduling batch: control events, timeouts, then up to
     /// the system's `max_events` port events. Re-schedules itself if new
-    /// work arrived during execution or the batch limit was hit.
-    pub fn run(self: &Arc<Self>) {
+    /// work arrived during execution or the batch limit was hit. Returns
+    /// how many events the batch handled.
+    pub fn run(self: &Arc<Self>) -> usize {
+        if let Some(probe) = self.probe.get() {
+            // The engine has dequeued this execution; a reschedule below
+            // counts as a fresh queue entry.
+            let _ = probe
+                .depth
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| d.checked_sub(1));
+        }
+        let handled = self.run_batch();
+        if let Some(probe) = self.probe.get() {
+            let rec = probe.sim.recorder();
+            if rec.is_enabled() {
+                rec.record(
+                    probe.sim.now().as_nanos(),
+                    kmsg_telemetry::EventKind::ComponentExec {
+                        component: self.id.0,
+                        handled: handled as u64,
+                    },
+                );
+            }
+        }
+        handled
+    }
+
+    fn run_batch(self: &Arc<Self>) -> usize {
         let Some(runner) = self.runner.get().and_then(Weak::upgrade) else {
             self.scheduled.store(false, Ordering::Release);
-            return;
+            return 0;
         };
         let max_events = self
             .system
@@ -210,7 +240,7 @@ impl ComponentCore {
         let handled = runner.execute_batch(max_events);
         self.scheduled.store(false, Ordering::Release);
         if self.state.load(Ordering::Acquire) == STATE_DESTROYED {
-            return;
+            return handled;
         }
         if (self.dirty.load(Ordering::Acquire) || handled >= max_events)
             && !self.scheduled.swap(true, Ordering::AcqRel)
@@ -220,6 +250,7 @@ impl ComponentCore {
                 system.scheduler.schedule(self.clone());
             }
         }
+        handled
     }
 }
 

@@ -7,13 +7,14 @@
 //!   the "production" mode exploiting the parallelism of the component
 //!   graph.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use kmsg_netsim::engine::Sim;
+use kmsg_telemetry::EventKind;
 
 use crate::component::ComponentCore;
 
@@ -28,22 +29,51 @@ pub trait Scheduler: Send + Sync {
     fn shutdown(&self) {}
 }
 
+/// Telemetry hook a [`SimulationScheduler`] installs on every core it
+/// schedules: the scheduler's shared queue-depth gauge plus the simulation
+/// handle (clock + recorder) used to stamp events from `run`.
+#[derive(Debug, Clone)]
+pub(crate) struct SchedProbe {
+    pub(crate) sim: Sim,
+    pub(crate) depth: Arc<AtomicU64>,
+}
+
 /// Executes components as simulation events (deterministic virtual time).
 #[derive(Debug, Clone)]
 pub struct SimulationScheduler {
     sim: Sim,
+    /// Component executions scheduled on the engine but not yet run — the
+    /// component-layer queue depth reported to telemetry.
+    depth: Arc<AtomicU64>,
 }
 
 impl SimulationScheduler {
     /// Creates a scheduler driving components on `sim`'s event loop.
     #[must_use]
     pub fn new(sim: &Sim) -> Self {
-        SimulationScheduler { sim: sim.clone() }
+        SimulationScheduler {
+            sim: sim.clone(),
+            depth: Arc::new(AtomicU64::new(0)),
+        }
     }
 }
 
 impl Scheduler for SimulationScheduler {
     fn schedule(&self, core: Arc<ComponentCore>) {
+        // First schedule wires the core to this scheduler's telemetry; the
+        // core uses it from `run` to report its execution.
+        let probe = core.probe.get_or_init(|| SchedProbe {
+            sim: self.sim.clone(),
+            depth: self.depth.clone(),
+        });
+        let depth = probe.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        let rec = self.sim.recorder();
+        if rec.is_enabled() {
+            rec.record(
+                self.sim.now().as_nanos(),
+                EventKind::SchedulerQueue { depth },
+            );
+        }
         // Scheduling at "now" preserves FIFO order among ready components
         // (ties broken by insertion order in the engine's now lane). The
         // core itself is the event target, so this allocates nothing —
@@ -95,7 +125,9 @@ impl ThreadPoolScheduler {
                     .spawn(move || {
                         while let Ok(msg) = rx.recv() {
                             match msg {
-                                WorkerMsg::Run(core) => core.run(),
+                                WorkerMsg::Run(core) => {
+                                    core.run();
+                                }
                                 WorkerMsg::Shutdown => break,
                             }
                         }
@@ -164,6 +196,30 @@ mod tests {
         // Core has no runner: run() is a no-op, but the event must execute.
         let executed = sim.run_for(std::time::Duration::from_millis(1));
         assert_eq!(executed, 1);
+    }
+
+    #[test]
+    fn sim_scheduler_reports_queue_and_exec_telemetry() {
+        let sim = Sim::new(2);
+        sim.recorder().enable();
+        let sched = SimulationScheduler::new(&sim);
+        let core = ComponentCore::new(ComponentId(11), Weak::new());
+        sched.schedule(core);
+        sim.run_for(std::time::Duration::from_millis(1));
+        let events = sim.recorder().events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(kinds, vec!["scheduler_queue", "component_exec"]);
+        match events[0].kind {
+            EventKind::SchedulerQueue { depth } => assert_eq!(depth, 1),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        match events[1].kind {
+            EventKind::ComponentExec { component, handled } => {
+                assert_eq!(component, 11);
+                assert_eq!(handled, 0, "core without a runner handles nothing");
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

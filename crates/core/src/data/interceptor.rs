@@ -25,6 +25,7 @@ use kmsg_component::prelude::*;
 use kmsg_netsim::packet::Endpoint;
 use kmsg_netsim::rng::SeedSource;
 use kmsg_netsim::time::SimTime;
+use kmsg_telemetry::Recorder;
 
 use crate::address::Address;
 use crate::data::psp::{PatternKind, PatternSelection, ProtocolSelectionPolicy, RandomSelection};
@@ -82,6 +83,10 @@ pub struct DataNetworkConfig {
     pub warmup_episodes: u32,
     /// Seed source for per-flow random streams.
     pub seeds: SeedSource,
+    /// Telemetry recorder that learner decisions are reported to — usually
+    /// a clone of [`Sim::recorder`](kmsg_netsim::engine::Sim::recorder).
+    /// Defaults to a fresh, disabled recorder (telemetry off).
+    pub recorder: Recorder,
 }
 
 impl Default for DataNetworkConfig {
@@ -95,8 +100,15 @@ impl Default for DataNetworkConfig {
             prp: PrpKind::Td(TdConfig::default()),
             warmup_episodes: 2,
             seeds: SeedSource::new(0),
+            recorder: Recorder::new(),
         }
     }
+}
+
+/// Stable numeric label for a flow destination: node index in the high
+/// bits, port in the low 16, so telemetry events can be grouped per flow.
+fn flow_label(dst: Endpoint) -> u64 {
+    (u64::from(dst.node.index()) << 16) | u64::from(dst.port)
 }
 
 impl DataNetworkConfig {
@@ -115,10 +127,14 @@ impl DataNetworkConfig {
     fn make_prp(&self, dst: Endpoint) -> Box<dyn ProtocolRatioPolicy> {
         match &self.prp {
             PrpKind::Static(r) => Box::new(StaticRatio(*r)),
-            PrpKind::Td(cfg) => Box::new(TdRatioLearner::new(
-                cfg.clone(),
-                self.seeds.stream(&format!("data-prp-{dst}")),
-            )),
+            PrpKind::Td(cfg) => {
+                let mut learner = TdRatioLearner::new(
+                    cfg.clone(),
+                    self.seeds.stream(&format!("data-prp-{dst}")),
+                );
+                learner.attach_recorder(self.recorder.clone(), flow_label(dst));
+                Box::new(learner)
+            }
         }
     }
 }
@@ -402,6 +418,7 @@ impl DataNetworkComponent {
                     None
                 };
                 let obs = EpisodeObservation {
+                    time: now,
                     throughput,
                     mean_latency,
                     achieved_ratio: achieved,

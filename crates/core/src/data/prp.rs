@@ -6,16 +6,24 @@
 //!   discretised ratio space, with a pluggable value-function backend
 //!   ([`ValueBackend`]) reproducing Figures 4–6.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use kmsg_learning::prelude::*;
+use kmsg_learning::DecisionRecord;
 use kmsg_netsim::rng::RngStream;
+use kmsg_netsim::time::SimTime;
+use kmsg_telemetry::{EventKind, Recorder};
 
 use crate::data::ratio::Ratio;
 
 /// What a flow observed during one learning episode.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpisodeObservation {
+    /// Simulation time at the end of the episode (timestamps any
+    /// telemetry the ratio policy emits).
+    pub time: SimTime,
     /// Delivered throughput over the episode, bytes/second.
     pub throughput: f64,
     /// Mean control-message latency observed during the episode, if the
@@ -104,6 +112,10 @@ pub struct TdRatioLearner {
     /// The state currently in effect (the ratio the flow is running at).
     current: StateIdx,
     started: bool,
+    /// Episode-end sim time in nanoseconds, stored at `episode_update`
+    /// entry so the decision probe (which fires inside the Sarsa step)
+    /// can timestamp its events.
+    now_ns: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for TdRatioLearner {
@@ -132,7 +144,30 @@ impl TdRatioLearner {
             cfg,
             current,
             started: false,
+            now_ns: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Bridges this learner's decisions into a telemetry recorder as
+    /// [`EventKind::Decision`] events tagged with `flow`. Timestamps come
+    /// from the [`EpisodeObservation::time`] of the episode being consumed,
+    /// so two same-seed runs emit identical streams.
+    pub fn attach_recorder(&mut self, rec: Recorder, flow: u64) {
+        let now_ns = self.now_ns.clone();
+        self.sarsa.set_probe(Some(Box::new(move |d: DecisionRecord| {
+            rec.record(
+                now_ns.load(Ordering::Relaxed),
+                EventKind::Decision {
+                    flow,
+                    step: d.step,
+                    state: d.state as u64,
+                    action: d.action as u64,
+                    reward: d.reward,
+                    epsilon: d.epsilon,
+                    greedy: d.greedy,
+                },
+            );
+        })));
     }
 
     fn reward(&self, obs: &EpisodeObservation) -> f64 {
@@ -169,6 +204,7 @@ impl ProtocolRatioPolicy for TdRatioLearner {
         if !self.started {
             return self.initial_ratio();
         }
+        self.now_ns.store(obs.time.as_nanos(), Ordering::Relaxed);
         let space = self.cfg.space;
         let reward = self.reward(obs);
         // We are *at* `current` (the result of the last action); feed the
@@ -190,6 +226,7 @@ mod tests {
 
     fn obs(throughput: f64, achieved: Ratio) -> EpisodeObservation {
         EpisodeObservation {
+            time: SimTime::ZERO,
             throughput,
             mean_latency: None,
             achieved_ratio: achieved,
@@ -322,6 +359,7 @@ mod tests {
         let learner = TdRatioLearner::new(cfg, SeedSource::new(1).stream("prp"));
         let quiet = learner.reward(&obs(10e6, Ratio::BALANCED));
         let laggy = learner.reward(&EpisodeObservation {
+            time: SimTime::ZERO,
             throughput: 10e6,
             mean_latency: Some(Duration::from_millis(100)),
             achieved_ratio: Ratio::BALANCED,
@@ -337,6 +375,33 @@ mod tests {
         let r = learner.episode_update(&obs(1e6, Ratio::BALANCED));
         assert!((-1.0..=1.0).contains(&r.signed()));
         assert_eq!(learner.name(), "td-learner");
+    }
+
+    #[test]
+    fn attached_recorder_sees_decisions_with_episode_times() {
+        let rec = Recorder::new();
+        rec.enable();
+        let mut learner =
+            TdRatioLearner::new(TdConfig::default(), SeedSource::new(4).stream("prp"));
+        learner.attach_recorder(rec.clone(), 7);
+        let mut ratio = learner.initial_ratio();
+        for ep in 1..=5u64 {
+            let mut o = obs(env_throughput(ratio, 1.0), ratio);
+            o.time = SimTime::from_nanos(ep * 1_000_000_000);
+            ratio = learner.episode_update(&o);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 5, "one decision per episode");
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.time_ns, (i as u64 + 1) * 1_000_000_000);
+            match e.kind {
+                EventKind::Decision { flow, step, .. } => {
+                    assert_eq!(flow, 7);
+                    assert_eq!(step, i as u64);
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
     }
 
     #[test]

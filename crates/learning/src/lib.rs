@@ -51,14 +51,14 @@ pub mod space;
 pub mod value;
 
 pub use policy::{EpsilonGreedy, EpsilonGreedyConfig};
-pub use sarsa::{ControlAlgo, Sarsa, SarsaConfig, TraceKind};
+pub use sarsa::{ControlAlgo, DecisionProbe, DecisionRecord, Sarsa, SarsaConfig, TraceKind};
 pub use space::{ActionIdx, RatioSpace, StateIdx};
 pub use value::{ActionValue, ApproxV, MatrixQ, ModelV};
 
 /// Common imports for learner users.
 pub mod prelude {
     pub use crate::policy::{EpsilonGreedy, EpsilonGreedyConfig};
-    pub use crate::sarsa::{ControlAlgo, Sarsa, SarsaConfig, TraceKind};
+    pub use crate::sarsa::{ControlAlgo, DecisionProbe, DecisionRecord, Sarsa, SarsaConfig, TraceKind};
     pub use crate::space::{ActionIdx, RatioSpace, StateIdx};
     pub use crate::value::{ActionValue, ApproxV, MatrixQ, ModelV};
 }

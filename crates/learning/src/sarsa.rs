@@ -68,6 +68,31 @@ impl Default for SarsaConfig {
     }
 }
 
+/// One decision the learner took, as reported to an observer installed
+/// with [`Sarsa::set_probe`]. The crate stays dependency-free: richer
+/// telemetry backends wrap the probe callback rather than this crate
+/// depending on them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionRecord {
+    /// Zero-based step index (the value of [`Sarsa::steps`] when the
+    /// decision was made).
+    pub step: u64,
+    /// The state the environment transitioned into.
+    pub state: usize,
+    /// The action chosen for that state.
+    pub action: usize,
+    /// The reward observed for the previous action.
+    pub reward: f64,
+    /// Exploration probability in effect when the action was chosen.
+    pub epsilon: f64,
+    /// Whether the chosen action was the greedy one (`false` both for
+    /// exploratory picks and when every action value is uninitialised).
+    pub greedy: bool,
+}
+
+/// Observer invoked once per [`Sarsa::step`] with the decision taken.
+pub type DecisionProbe = Box<dyn FnMut(DecisionRecord) + Send>;
+
 /// The Sarsa(λ) learner, generic over the value-function backend.
 pub struct Sarsa<V: ActionValue, R: Rng> {
     space: RatioSpace,
@@ -77,6 +102,7 @@ pub struct Sarsa<V: ActionValue, R: Rng> {
     traces: Vec<f64>,
     last: Option<(StateIdx, ActionIdx)>,
     steps: u64,
+    probe: Option<DecisionProbe>,
 }
 
 impl<V: ActionValue, R: Rng> std::fmt::Debug for Sarsa<V, R> {
@@ -101,7 +127,15 @@ impl<V: ActionValue, R: Rng> Sarsa<V, R> {
             traces,
             last: None,
             steps: 0,
+            probe: None,
         }
+    }
+
+    /// Installs (or removes) a decision observer. The probe fires once per
+    /// [`Sarsa::step`], after action selection and before the value update;
+    /// it never influences the learning trajectory.
+    pub fn set_probe(&mut self, probe: Option<DecisionProbe>) {
+        self.probe = probe;
     }
 
     fn trace_idx(&self, s: StateIdx, a: ActionIdx) -> usize {
@@ -133,6 +167,16 @@ impl<V: ActionValue, R: Rng> Sarsa<V, R> {
         let a_next = self.policy.select(&self.q_row(s_next));
 
         let greedy_next = self.greedy_action(s_next);
+        if let Some(probe) = self.probe.as_mut() {
+            probe(DecisionRecord {
+                step: self.steps,
+                state: s_next.0,
+                action: a_next.0,
+                reward,
+                epsilon: self.policy.epsilon(),
+                greedy: greedy_next == Some(a_next),
+            });
+        }
         let bootstrap_action = match self.cfg.algo {
             ControlAlgo::Sarsa => a_next,
             ControlAlgo::WatkinsQ => greedy_next.unwrap_or(a_next),
@@ -453,6 +497,37 @@ mod tests {
                     assert!(v.is_finite());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn probe_sees_every_decision() {
+        use std::sync::{Arc, Mutex};
+        let space = RatioSpace::default();
+        let mut learner = Sarsa::new(
+            space,
+            SarsaConfig::default(),
+            ModelV::new(space),
+            ChaCha12Rng::seed_from_u64(11),
+        );
+        let seen: Arc<Mutex<Vec<DecisionRecord>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        learner.set_probe(Some(Box::new(move |d| sink.lock().unwrap().push(d))));
+        let mut s = space.nearest_state(0.0);
+        let mut a = learner.begin(s);
+        for _ in 0..5 {
+            let s_next = space.transition(s, a);
+            a = learner.step(0.25, s_next);
+            s = s_next;
+        }
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 5);
+        for (i, d) in seen.iter().enumerate() {
+            assert_eq!(d.step, i as u64);
+            assert_eq!(d.reward, 0.25);
+            assert!(d.state < space.num_states());
+            assert!(d.action < space.num_actions());
+            assert!((0.0..=1.0).contains(&d.epsilon));
         }
     }
 

@@ -65,6 +65,7 @@ use std::mem;
 use std::sync::Arc;
 use std::time::Duration;
 
+use kmsg_telemetry::Recorder;
 use parking_lot::Mutex;
 
 use crate::link::LinkId;
@@ -113,6 +114,8 @@ struct SimInner {
     now: SimTime,
     seq: u64,
     executed: u64,
+    /// Next per-simulation connection id (deterministic per seed).
+    next_conn_id: u64,
     /// Events due at exactly `now`, in insertion (= seq) order.
     now_lane: VecDeque<EventKind>,
     /// Events strictly after `now`.
@@ -131,6 +134,7 @@ struct SimInner {
 pub struct Sim {
     inner: Arc<Mutex<SimInner>>,
     seeds: SeedSource,
+    recorder: Recorder,
 }
 
 impl fmt::Debug for Sim {
@@ -154,19 +158,43 @@ impl Sim {
                 now: SimTime::ZERO,
                 seq: 0,
                 executed: 0,
+                next_conn_id: 1,
                 now_lane: VecDeque::new(),
                 wheel: TimingWheel::new(),
                 cohort: Vec::new(),
                 spare: VecDeque::new(),
             })),
             seeds: SeedSource::new(seed),
+            recorder: Recorder::new(),
         }
+    }
+
+    /// The telemetry recorder attached to this simulation.
+    ///
+    /// Starts disabled (all recording is a no-op); call
+    /// [`Recorder::enable`] on it to start capturing. Every clone of the
+    /// `Sim` shares the same recorder.
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// The current virtual time.
     #[must_use]
     pub fn now(&self) -> SimTime {
         self.inner.lock().now
+    }
+
+    /// Allocates the next connection id for this simulation.
+    ///
+    /// Ids are assigned from a per-`Sim` counter (not a process-global one)
+    /// so two same-seed runs label their connections — and hence their
+    /// telemetry events — identically.
+    pub(crate) fn fresh_conn_id(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let id = inner.next_conn_id;
+        inner.next_conn_id += 1;
+        id
     }
 
     /// The seed source for deriving named deterministic random streams.

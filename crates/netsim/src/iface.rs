@@ -6,22 +6,25 @@
 //! and [`StreamEvents`] callbacks, which is what makes per-message protocol
 //! selection possible.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
 
 use crate::packet::{Endpoint, WireProtocol};
 
-/// Globally unique identifier of a simulated connection.
+/// Identifier of a simulated connection, unique within one [`Sim`].
+///
+/// Ids come from a per-simulation counter so the same seed assigns the
+/// same ids run after run (a process-global counter would leak state from
+/// earlier runs into the telemetry stream and break reproducibility).
+///
+/// [`Sim`]: crate::engine::Sim
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ConnectionId(u64);
 
-static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
-
 impl ConnectionId {
-    pub(crate) fn fresh() -> Self {
-        ConnectionId(NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed))
+    pub(crate) fn fresh(sim: &crate::engine::Sim) -> Self {
+        ConnectionId(sim.fresh_conn_id())
     }
 
     /// Raw numeric value (diagnostics only).
@@ -197,11 +200,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn connection_ids_are_unique() {
-        let a = ConnectionId::fresh();
-        let b = ConnectionId::fresh();
+    fn connection_ids_are_unique_and_reproducible() {
+        let sim = crate::engine::Sim::new(1);
+        let a = ConnectionId::fresh(&sim);
+        let b = ConnectionId::fresh(&sim);
         assert_ne!(a, b);
         assert!(b.raw() > a.raw());
+        // A fresh simulation restarts the counter: same seed, same ids.
+        let sim2 = crate::engine::Sim::new(1);
+        assert_eq!(ConnectionId::fresh(&sim2), a);
     }
 }
 

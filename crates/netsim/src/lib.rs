@@ -58,4 +58,8 @@ pub use link::{DropReason, LinkConfig, LinkId, PolicerConfig};
 pub use network::{BindError, Network, NetworkStats, PacketSink};
 pub use packet::{Endpoint, NodeId, WireProtocol};
 pub use time::SimTime;
-pub use trace::{PacketEvent, PacketRecord, PacketTracer, RingTracer};
+pub use trace::{PacketEvent, PacketRecord, PacketTracer, RecorderTracer, RingTracer};
+
+// Telemetry is part of the simulator's public surface: `Sim::recorder()`
+// returns a handle and instrumented code records `EventKind` values.
+pub use kmsg_telemetry::{Event, EventKind, Recorder};

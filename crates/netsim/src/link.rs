@@ -128,6 +128,19 @@ pub enum DropReason {
     LinkDown,
 }
 
+impl DropReason {
+    /// Stable snake_case label for telemetry output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::QueueOverflow => "queue_overflow",
+            DropReason::RandomLoss => "random_loss",
+            DropReason::Policed => "policed",
+            DropReason::LinkDown => "link_down",
+        }
+    }
+}
+
 /// Outcome of offering a packet to a link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Verdict {

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use kmsg_telemetry::EventKind;
 use parking_lot::Mutex;
 
 use crate::engine::Sim;
@@ -288,14 +289,35 @@ impl Network {
     /// Transmits `pkt` over hop `idx` of its route, scheduling the next hop
     /// event at the link's computed arrival time.
     fn forward(&self, pkt: Packet, links: &Arc<Vec<LinkId>>, idx: usize) {
-        let link = self.inner.lock().links[links[idx].0 as usize].clone();
+        let link_id = links[idx];
+        let link = self.inner.lock().links[link_id.0 as usize].clone();
         match link.transmit(&self.sim, pkt.wire_size, pkt.protocol.is_udp_family()) {
             Verdict::DeliverAt(at) => {
+                let rec = self.sim.recorder();
+                if rec.is_enabled() {
+                    let now = self.sim.now();
+                    rec.record(
+                        now.as_nanos(),
+                        EventKind::LinkQueue {
+                            link: u64::from(link_id.0),
+                            backlog_bytes: link.backlog_bytes(now) as u64,
+                            capacity_bytes: link.config().queue_capacity as u64,
+                        },
+                    );
+                }
                 self.sim
                     .schedule_packet_hop(at, self.clone(), pkt, links.clone(), idx + 1);
             }
             Verdict::Dropped(reason) => {
                 self.inner.lock().stats.dropped_link += 1;
+                self.sim.recorder().record(
+                    self.sim.now().as_nanos(),
+                    EventKind::LinkDrop {
+                        link: u64::from(link_id.0),
+                        reason: reason.label(),
+                        wire_size: pkt.wire_size as u64,
+                    },
+                );
                 self.trace(&pkt, PacketEvent::Dropped(reason));
             }
         }

@@ -67,6 +67,16 @@ pub enum WireProtocol {
 }
 
 impl WireProtocol {
+    /// Stable snake_case label for telemetry output.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            WireProtocol::Tcp => "tcp",
+            WireProtocol::Udp => "udp",
+            WireProtocol::Udt => "udt",
+        }
+    }
+
     /// Whether this packet is part of the UDP family for policing purposes.
     #[must_use]
     pub const fn is_udp_family(self) -> bool {

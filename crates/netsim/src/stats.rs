@@ -192,18 +192,21 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Computes the summary of `samples`.
+    /// Computes the summary of `samples`, or `None` when `samples` is
+    /// empty (there is no meaningful five-number summary of nothing).
     ///
     /// # Panics
     ///
-    /// Panics if `samples` is empty or contains NaN.
+    /// Panics if `samples` contains NaN.
     #[must_use]
-    pub fn of(samples: &[f64]) -> Summary {
-        assert!(!samples.is_empty(), "summary of empty sample set");
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
-        Summary {
+        Some(Summary {
             count: sorted.len(),
             min: sorted[0],
             p25: percentile_sorted(&sorted, 0.25),
@@ -211,28 +214,32 @@ impl Summary {
             p75: percentile_sorted(&sorted, 0.75),
             max: sorted[sorted.len() - 1],
             mean,
-        }
+        })
     }
 }
 
 /// Linear-interpolated percentile of an ascending-sorted slice, `q` in
-/// `[0, 1]`.
+/// `[0, 1]`. Returns 0.0 for an empty slice (documented sentinel, so
+/// report-generation code never panics on a dataset that produced no
+/// samples).
 ///
 /// # Panics
 ///
-/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+/// Panics if `q` is outside `[0, 1]`.
 #[must_use]
 pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of empty slice");
     assert!((0.0..=1.0).contains(&q), "percentile rank out of range");
-    if sorted.len() == 1 {
-        return sorted[0];
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
     }
-    let pos = q * (sorted.len() - 1) as f64;
-    let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
-    let frac = pos - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 /// Measures throughput by accumulating byte counts and reporting windowed
@@ -448,7 +455,7 @@ mod tests {
 
     #[test]
     fn summary_quartiles() {
-        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).expect("non-empty");
         assert_eq!(s.min, 1.0);
         assert_eq!(s.median, 3.0);
         assert_eq!(s.max, 5.0);
@@ -459,9 +466,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty sample set")]
-    fn summary_rejects_empty() {
-        let _ = Summary::of(&[]);
+    fn summary_of_empty_is_none() {
+        assert_eq!(Summary::of(&[]), None);
     }
 
     #[test]
@@ -471,6 +477,7 @@ mod tests {
         assert_eq!(percentile_sorted(&v, 0.0), 0.0);
         assert_eq!(percentile_sorted(&v, 1.0), 10.0);
         assert_eq!(percentile_sorted(&[7.0], 0.3), 7.0);
+        assert_eq!(percentile_sorted(&[], 0.9), 0.0, "empty-slice sentinel");
     }
 
     #[test]
@@ -485,6 +492,32 @@ mod tests {
         assert_eq!(m.sample_window(t2), 0.0);
         assert_eq!(m.total_bytes(), 1_000_000);
         assert!((m.average(t2) - 5e5).abs() < 1.0);
+    }
+
+    #[test]
+    fn throughput_meter_window_edge_accounting() {
+        // Bytes recorded at exactly the sampling instant belong to the
+        // window being closed; bytes recorded immediately after belong to
+        // the next one. Nothing is double-counted or lost at the edge.
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::from_secs(1);
+        let t2 = SimTime::from_secs(2);
+        let mut m = ThroughputMeter::new(t0);
+        m.record(600);
+        // Landing exactly on the t1 edge, before the sample closes it:
+        m.record(400);
+        assert!((m.sample_window(t1) - 1000.0).abs() < 1e-9);
+        // After the close, the same instant feeds the next window.
+        m.record(250);
+        assert!((m.sample_window(t2) - 250.0).abs() < 1e-9);
+        assert_eq!(m.total_bytes(), 1250);
+
+        // A zero-width window (two samples at the same instant) reports a
+        // 0.0 rate but must not lose its bytes from the running total.
+        let mut z = ThroughputMeter::new(t0);
+        z.record(77);
+        assert_eq!(z.sample_window(t0), 0.0);
+        assert_eq!(z.total_bytes(), 77);
     }
 
     #[test]

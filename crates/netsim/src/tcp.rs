@@ -18,6 +18,7 @@ use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use bytes::Bytes;
+use kmsg_telemetry::{EventKind, Recorder};
 use parking_lot::Mutex;
 
 use crate::iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvents};
@@ -190,6 +191,12 @@ struct TcpInner {
     closed_notified: bool,
 
     stats: TcpConnStats,
+
+    // --- telemetry ---
+    /// Raw [`ConnectionId`] used to tag flight-recorder events.
+    conn_id: u64,
+    /// Recorder shared with the owning [`Sim`](crate::engine::Sim).
+    rec: Recorder,
 }
 
 impl TcpInner {
@@ -242,7 +249,14 @@ impl fmt::Debug for TcpConn {
 }
 
 impl TcpShared {
-    fn new_inner(cfg: TcpConfig, state: State, local: Endpoint, peer: Endpoint) -> TcpInner {
+    fn new_inner(
+        cfg: TcpConfig,
+        state: State,
+        local: Endpoint,
+        peer: Endpoint,
+        conn_id: ConnectionId,
+        rec: Recorder,
+    ) -> TcpInner {
         let cwnd = (cfg.initial_cwnd * cfg.mss) as f64;
         TcpInner {
             state,
@@ -283,6 +297,8 @@ impl TcpShared {
             connected_notified: false,
             closed_notified: false,
             stats: TcpConnStats::default(),
+            conn_id: conn_id.raw(),
+            rec,
             cfg,
         }
     }
@@ -396,6 +412,23 @@ impl TcpShared {
             inner.in_recovery = true;
             inner.recover = inner.snd_nxt;
             inner.rto = (inner.rto * 2).min(inner.cfg.max_rto);
+            inner.rec.record(
+                now.as_nanos(),
+                EventKind::TcpRto {
+                    conn: inner.conn_id,
+                    rto_us: inner.rto.as_micros() as u64,
+                    consecutive: u64::from(inner.consecutive_timeouts),
+                },
+            );
+            inner.rec.record(
+                now.as_nanos(),
+                EventKind::TcpCwnd {
+                    conn: inner.conn_id,
+                    cwnd: inner.cwnd,
+                    ssthresh: inner.ssthresh,
+                    cause: "rto",
+                },
+            );
             if inner.state == State::Established {
                 // Go-back-N style: everything unacknowledged is presumed
                 // lost; retransmission is paced by returning ACKs.
@@ -581,6 +614,14 @@ fn retransmit_first(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
         payload: seg.payload.clone(),
     };
     inner.stats.retransmits += 1;
+    inner.rec.record(
+        now.as_nanos(),
+        EventKind::TcpRetransmit {
+            conn: inner.conn_id,
+            seq,
+            fast: false,
+        },
+    );
     out.push(Action::Send(segment));
 }
 
@@ -615,6 +656,15 @@ fn process_ack(inner: &mut TcpInner, seg: &TcpSegment, now: SimTime, out: &mut V
         if inner.in_recovery && inner.snd_una >= inner.recover {
             inner.in_recovery = false;
             inner.cwnd = inner.cwnd.min(inner.ssthresh.max((2 * inner.cfg.mss) as f64));
+            inner.rec.record(
+                now.as_nanos(),
+                EventKind::TcpCwnd {
+                    conn: inner.conn_id,
+                    cwnd: inner.cwnd,
+                    ssthresh: inner.ssthresh,
+                    cause: "recovery_exit",
+                },
+            );
         }
         let mss = inner.cfg.mss as f64;
         if inner.cwnd < inner.ssthresh {
@@ -671,6 +721,15 @@ fn note_holes(inner: &mut TcpInner, holes: &[(u64, u64)], now: SimTime) {
         inner.ssthresh = (flight / 2.0).max((2 * inner.cfg.mss) as f64);
         inner.cwnd = inner.ssthresh;
         inner.stats.fast_recoveries += 1;
+        inner.rec.record(
+            now.as_nanos(),
+            EventKind::TcpCwnd {
+                conn: inner.conn_id,
+                cwnd: inner.cwnd,
+                ssthresh: inner.ssthresh,
+                cause: "fast_recovery",
+            },
+        );
     }
 }
 
@@ -711,6 +770,14 @@ fn resend_lost(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
             payload: seg.payload.clone(),
         };
         inner.stats.retransmits += 1;
+        inner.rec.record(
+            now.as_nanos(),
+            EventKind::TcpRetransmit {
+                conn: inner.conn_id,
+                seq,
+                fast: true,
+            },
+        );
         out.push(Action::Send(segment));
         sent += 1;
     }
@@ -920,10 +987,18 @@ impl TcpConn {
     ) -> Result<TcpConn, BindError> {
         let port = net.alloc_ephemeral_port(node);
         let local = Endpoint::new(node, port);
+        let id = ConnectionId::fresh(net.sim());
         let shared = Arc::new(TcpShared {
-            id: ConnectionId::fresh(),
+            id,
             net: net.clone(),
-            inner: Mutex::new(TcpShared::new_inner(cfg, State::SynSent, local, dst)),
+            inner: Mutex::new(TcpShared::new_inner(
+                cfg,
+                State::SynSent,
+                local,
+                dst,
+                id,
+                net.sim().recorder().clone(),
+            )),
             events: Mutex::new(Some(events)),
         });
         let sink = Arc::new(ConnSink {
@@ -1105,14 +1180,17 @@ impl PacketSink for ListenerSink {
             return; // stray non-SYN for an unknown connection
         }
         // Passive open.
+        let id = ConnectionId::fresh(listener.net.sim());
         let shared = Arc::new(TcpShared {
-            id: ConnectionId::fresh(),
+            id,
             net: listener.net.clone(),
             inner: Mutex::new(TcpShared::new_inner(
                 listener.cfg.clone(),
                 State::SynRcvd,
                 listener.local,
                 pkt.src,
+                id,
+                listener.net.sim().recorder().clone(),
             )),
             events: Mutex::new(None),
         });

@@ -349,6 +349,10 @@ pub trait ChurnEngine: Clone + Send + Sync + 'static {
     fn events_executed(&self) -> u64;
     /// Currently pending events.
     fn events_pending(&self) -> usize;
+    /// Records a flight-recorder marker for an executed churn event, if the
+    /// engine carries a telemetry recorder. Default: no-op (the reference
+    /// oracle has no recorder).
+    fn record_mark(&self, _label: u32) {}
 }
 
 impl ChurnEngine for Sim {
@@ -366,6 +370,15 @@ impl ChurnEngine for Sim {
     }
     fn events_pending(&self) -> usize {
         Sim::events_pending(self)
+    }
+    fn record_mark(&self, label: u32) {
+        self.recorder().record(
+            self.now().as_nanos(),
+            kmsg_telemetry::EventKind::Mark {
+                id: u64::from(label),
+                value: Sim::events_executed(self),
+            },
+        );
     }
 }
 
@@ -398,6 +411,7 @@ fn schedule_churn<E: ChurnEngine>(
         Box::new(move |e: &E| {
             let now = e.now_ns();
             log.lock().push((now, event.label));
+            e.record_mark(event.label);
             for child in event.children {
                 let child_at = now.saturating_add(child.time);
                 schedule_churn(e, log.clone(), child_at, child);

@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use kmsg_telemetry::{EventKind, Recorder};
 use parking_lot::Mutex;
 
 use crate::link::DropReason;
@@ -29,6 +30,21 @@ pub enum PacketEvent {
     NoSink,
     /// Handed to the destination sink.
     Delivered,
+}
+
+impl PacketEvent {
+    /// Stable snake_case outcome label for telemetry output
+    /// (`"dropped:<reason>"` for drops).
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            PacketEvent::Sent => "sent".to_string(),
+            PacketEvent::Dropped(reason) => format!("dropped:{}", reason.label()),
+            PacketEvent::NoRoute => "no_route".to_string(),
+            PacketEvent::NoSink => "no_sink".to_string(),
+            PacketEvent::Delivered => "delivered".to_string(),
+        }
+    }
 }
 
 /// One trace record.
@@ -128,6 +144,41 @@ impl PacketTracer for RingTracer {
     }
 }
 
+/// Folds packet events into a telemetry [`Recorder`] as
+/// [`EventKind::Packet`] flight-recorder events, so the packet tracer
+/// becomes one event source in the unified telemetry stream.
+#[derive(Debug)]
+pub struct RecorderTracer {
+    rec: Recorder,
+}
+
+impl RecorderTracer {
+    /// Creates a tracer feeding `rec` — usually a clone of
+    /// [`Sim::recorder`](crate::engine::Sim::recorder).
+    #[must_use]
+    pub fn new(rec: Recorder) -> Arc<Self> {
+        Arc::new(RecorderTracer { rec })
+    }
+}
+
+impl PacketTracer for RecorderTracer {
+    fn record(&self, record: PacketRecord) {
+        if !self.rec.is_enabled() {
+            return; // skip the endpoint formatting entirely
+        }
+        self.rec.record(
+            record.time.as_nanos(),
+            EventKind::Packet {
+                src: record.src.to_string(),
+                dst: record.dst.to_string(),
+                proto: record.protocol.label(),
+                wire_size: record.wire_size as u64,
+                outcome: record.event.label(),
+            },
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +221,69 @@ mod tests {
         assert_eq!(c.dropped_loss, 1);
         assert_eq!(c.unroutable, 1);
         assert_eq!(c.delivered, 1);
+    }
+
+    #[test]
+    fn ring_wraps_repeatedly_keeping_exactly_capacity() {
+        // Push several full capacities worth of records; the ring must hold
+        // exactly the last `capacity`, in order, with counters unaffected.
+        let tracer = RingTracer::new(4);
+        for i in 0..11 {
+            let mut r = rec(PacketEvent::Sent);
+            r.wire_size = i;
+            tracer.record(r);
+        }
+        let records = tracer.records();
+        assert_eq!(records.len(), 4);
+        let sizes: Vec<usize> = records.iter().map(|r| r.wire_size).collect();
+        assert_eq!(sizes, vec![7, 8, 9, 10]);
+        assert_eq!(tracer.counts().sent, 11);
+    }
+
+    #[test]
+    fn drop_reasons_summarise_after_eviction() {
+        // Drop-reason counters survive even when the records that produced
+        // them have been evicted from the ring.
+        let tracer = RingTracer::new(2);
+        for reason in [
+            DropReason::QueueOverflow,
+            DropReason::QueueOverflow,
+            DropReason::RandomLoss,
+            DropReason::Policed,
+            DropReason::LinkDown,
+        ] {
+            tracer.record(rec(PacketEvent::Dropped(reason)));
+        }
+        assert_eq!(tracer.records().len(), 2);
+        let c = tracer.counts();
+        assert_eq!(c.dropped_queue, 2);
+        assert_eq!(c.dropped_loss, 1);
+        assert_eq!(c.dropped_policer, 1);
+        assert_eq!(c.dropped_down, 1);
+    }
+
+    #[test]
+    fn recorder_tracer_folds_packets_into_telemetry() {
+        let telemetry = Recorder::new();
+        let tracer = RecorderTracer::new(telemetry.clone());
+        tracer.record(rec(PacketEvent::Sent));
+        assert_eq!(telemetry.event_count(), 0, "disabled recorder stays empty");
+        telemetry.enable();
+        tracer.record(rec(PacketEvent::Dropped(DropReason::Policed)));
+        let events = telemetry.events();
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            EventKind::Packet {
+                proto,
+                wire_size,
+                outcome,
+                ..
+            } => {
+                assert_eq!(*proto, "udp");
+                assert_eq!(*wire_size, 100);
+                assert_eq!(outcome, "dropped:policed");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 }

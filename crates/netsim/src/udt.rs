@@ -29,6 +29,7 @@ use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use bytes::Bytes;
+use kmsg_telemetry::{EventKind, Recorder};
 use parking_lot::Mutex;
 
 use crate::iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvents};
@@ -234,6 +235,12 @@ struct UdtInner {
     closed_notified: bool,
 
     stats: UdtConnStats,
+
+    // --- telemetry ---
+    /// Raw [`ConnectionId`] used to tag flight-recorder events.
+    conn_id: u64,
+    /// Recorder shared with the owning [`Sim`](crate::engine::Sim).
+    rec: Recorder,
 }
 
 impl UdtInner {
@@ -305,6 +312,8 @@ impl UdtShared {
         peer: Endpoint,
         is_initiator: bool,
         now: SimTime,
+        conn_id: ConnectionId,
+        rec: Recorder,
     ) -> UdtInner {
         let snd_period_us = 1e6 / cfg.initial_rate_pps;
         UdtInner {
@@ -351,6 +360,8 @@ impl UdtShared {
             connected_notified: false,
             closed_notified: false,
             stats: UdtConnStats::default(),
+            conn_id: conn_id.raw(),
+            rec,
             cfg,
         }
     }
@@ -476,6 +487,15 @@ impl UdtShared {
             // Re-request persistently missing packets.
             if !inner.missing.is_empty() {
                 let ranges = collect_ranges(&inner.missing, 64);
+                let losses = ranges.iter().map(|(f, t)| t - f + 1).sum();
+                inner.rec.record(
+                    now.as_nanos(),
+                    EventKind::UdtNak {
+                        conn: inner.conn_id,
+                        sent: true,
+                        losses,
+                    },
+                );
                 out.push(Action::Send(UdtPacket::Nak { ranges }));
             }
 
@@ -495,6 +515,15 @@ impl UdtShared {
                 inner.snd_period_us =
                     (inner.snd_period_us * syn_us) / (inner.snd_period_us * inc + syn_us);
                 inner.snd_period_us = inner.snd_period_us.max(1.0);
+                inner.rec.record(
+                    now.as_nanos(),
+                    EventKind::UdtRate {
+                        conn: inner.conn_id,
+                        period_us: inner.snd_period_us,
+                        rate_pps: inner.current_rate_pps(),
+                        cause: "syn_increase",
+                    },
+                );
             }
             inner.nak_in_syn = false;
             inner.sent_in_syn = 0;
@@ -706,15 +735,25 @@ impl UdtShared {
                 inner.stats.naks_received += 1;
                 inner.nak_in_syn = true;
                 let mut first_lost = u64::MAX;
+                let mut reported = 0u64;
                 for (from, to) in ranges {
                     let to = to.min(inner.snd_nxt.saturating_sub(1));
                     for seq in from..=to {
                         if seq >= inner.snd_una && inner.packets.contains_key(&seq) {
                             inner.loss_list.insert(seq);
                             first_lost = first_lost.min(seq);
+                            reported += 1;
                         }
                     }
                 }
+                inner.rec.record(
+                    now.as_nanos(),
+                    EventKind::UdtNak {
+                        conn: inner.conn_id,
+                        sent: false,
+                        losses: reported,
+                    },
+                );
                 // One multiplicative decrease per congestion epoch. An
                 // epoch ends when loss is seen beyond the last decrease
                 // point, or — when retransmissions themselves are being
@@ -730,6 +769,15 @@ impl UdtShared {
                         inner.last_dec_seq = inner.snd_nxt;
                         inner.last_dec_at = now;
                         inner.stats.rate_decreases += 1;
+                        inner.rec.record(
+                            now.as_nanos(),
+                            EventKind::UdtRate {
+                                conn: inner.conn_id,
+                                period_us: inner.snd_period_us,
+                                rate_pps: inner.current_rate_pps(),
+                                cause: "nak_decrease",
+                            },
+                        );
                     }
                 }
                 restart_pacer(inner, out);
@@ -790,6 +838,14 @@ fn receive_data_packet(inner: &mut UdtInner, seq: u64, probe: bool, now: SimTime
             for s in from..=to {
                 inner.missing.insert(s);
             }
+            inner.rec.record(
+                now.as_nanos(),
+                EventKind::UdtNak {
+                    conn: inner.conn_id,
+                    sent: true,
+                    losses: to - from + 1,
+                },
+            );
             out.push(Action::Send(UdtPacket::Nak {
                 ranges: vec![(from, to)],
             }));
@@ -946,8 +1002,9 @@ impl UdtConn {
         let port = net.alloc_ephemeral_port(node);
         let local = Endpoint::new(node, port);
         let now = net.sim().now();
+        let id = ConnectionId::fresh(net.sim());
         let shared = Arc::new(UdtShared {
-            id: ConnectionId::fresh(),
+            id,
             net: net.clone(),
             inner: Mutex::new(UdtShared::new_inner(
                 cfg,
@@ -956,6 +1013,8 @@ impl UdtConn {
                 dst,
                 true,
                 now,
+                id,
+                net.sim().recorder().clone(),
             )),
             events: Mutex::new(Some(events)),
         });
@@ -1142,8 +1201,9 @@ impl PacketSink for ListenerSink {
             return; // stray packet for an unknown connection
         };
         let now = listener.net.sim().now();
+        let id = ConnectionId::fresh(listener.net.sim());
         let shared = Arc::new(UdtShared {
-            id: ConnectionId::fresh(),
+            id,
             net: listener.net.clone(),
             inner: Mutex::new(UdtShared::new_inner(
                 listener.cfg.clone(),
@@ -1152,6 +1212,8 @@ impl PacketSink for ListenerSink {
                 pkt.src,
                 false,
                 now,
+                id,
+                listener.net.sim().recorder().clone(),
             )),
             events: Mutex::new(None),
         });

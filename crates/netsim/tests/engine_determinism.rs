@@ -92,6 +92,67 @@ fn phases() -> impl Strategy<Value = Vec<ChurnPhase>> {
     })
 }
 
+/// Two same-seed runs with enabled flight recorders emit byte-identical
+/// JSONL: every churn event records a `mark` via [`ChurnEngine::record_mark`]
+/// at its virtual fire time, so equality here covers event order,
+/// timestamps and serialisation.
+///
+/// [`ChurnEngine::record_mark`]: kmsg_netsim::testutil::ChurnEngine::record_mark
+#[test]
+fn same_seed_runs_emit_byte_identical_jsonl() {
+    let phases = vec![
+        ChurnPhase {
+            horizon: 5_000_000,
+            ops: vec![
+                ChurnEvent {
+                    time: 1_000,
+                    label: 1,
+                    children: vec![
+                        ChurnEvent {
+                            time: 0,
+                            label: 2,
+                            children: Vec::new(),
+                        },
+                        ChurnEvent {
+                            time: 2_500,
+                            label: 3,
+                            children: Vec::new(),
+                        },
+                    ],
+                },
+                ChurnEvent {
+                    time: 4_000_000,
+                    label: 4,
+                    children: Vec::new(),
+                },
+            ],
+        },
+        ChurnPhase {
+            horizon: 1 << 40,
+            ops: vec![ChurnEvent {
+                time: 1 << 35,
+                label: 5,
+                children: Vec::new(),
+            }],
+        },
+    ];
+    let run = || {
+        let sim = Sim::new(7);
+        sim.recorder().enable();
+        let trace = run_churn(&sim, &phases);
+        (trace, sim.recorder().to_jsonl())
+    };
+    let (trace_a, jsonl_a) = run();
+    let (trace_b, jsonl_b) = run();
+    assert_eq!(trace_a, trace_b);
+    assert_eq!(
+        jsonl_a, jsonl_b,
+        "flight-recorder JSONL must be byte-identical for equal seeds"
+    );
+    assert_eq!(jsonl_a.lines().count(), 5, "one mark per churn event");
+    assert!(jsonl_a.lines().all(|l| l.contains("\"kind\":\"mark\"")));
+}
+
 proptest! {
     /// The wheel engine and the heap oracle execute any schedule
     /// identically.

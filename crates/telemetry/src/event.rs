@@ -1,0 +1,172 @@
+//! Flight-recorder event schema.
+//!
+//! Every event pairs a virtual-clock timestamp with one [`EventKind`]
+//! variant. The variants mirror the instrumented subsystems of the
+//! simulator: TCP congestion control, UDT rate control, link queues,
+//! packet lifecycles, the component scheduler and the Sarsa(λ) learner.
+//! Fields are plain numbers (or `&'static str` labels) so recording never
+//! allocates on the common paths; only packet-lifecycle events carry
+//! endpoint strings, and those are built solely when the recorder is
+//! enabled.
+
+/// One recorded flight-recorder event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual-clock timestamp in nanoseconds ([`crate::Recorder::record`]
+    /// never reads the wall clock, so output is deterministic per seed).
+    pub time_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The structured payload of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// TCP congestion-window transition (slow-start/recovery boundaries,
+    /// not per-ACK growth).
+    TcpCwnd {
+        /// Connection id.
+        conn: u64,
+        /// New congestion window, bytes.
+        cwnd: f64,
+        /// New slow-start threshold, bytes.
+        ssthresh: f64,
+        /// What triggered the transition (`"rto"`, `"fast_recovery"`,
+        /// `"recovery_exit"`, ...).
+        cause: &'static str,
+    },
+    /// TCP retransmission timeout fired.
+    TcpRto {
+        /// Connection id.
+        conn: u64,
+        /// Back-off-doubled RTO now armed, microseconds.
+        rto_us: u64,
+        /// Consecutive timeouts on this connection.
+        consecutive: u64,
+    },
+    /// TCP segment (re)sent by loss recovery.
+    TcpRetransmit {
+        /// Connection id.
+        conn: u64,
+        /// Sequence number of the retransmitted segment.
+        seq: u64,
+        /// `true` for fast retransmit, `false` for RTO-driven resend.
+        fast: bool,
+    },
+    /// UDT sending-rate update (DAIMD increase or NAK-driven decrease).
+    UdtRate {
+        /// Connection id.
+        conn: u64,
+        /// New inter-packet sending period, microseconds.
+        period_us: f64,
+        /// Equivalent packet rate, packets/second.
+        rate_pps: f64,
+        /// `"syn_increase"` or `"nak_decrease"`.
+        cause: &'static str,
+    },
+    /// UDT NAK round (loss report sent by the receiver or processed by the
+    /// sender).
+    UdtNak {
+        /// Connection id.
+        conn: u64,
+        /// `true` when this side emitted the NAK, `false` when it received
+        /// one.
+        sent: bool,
+        /// Number of sequence numbers reported lost.
+        losses: u64,
+    },
+    /// Link queue occupancy sampled after a transmit decision.
+    LinkQueue {
+        /// Link id.
+        link: u64,
+        /// Backlogged bytes waiting for the wire.
+        backlog_bytes: u64,
+        /// Queue capacity, bytes.
+        capacity_bytes: u64,
+    },
+    /// Packet dropped at a link.
+    LinkDrop {
+        /// Link id.
+        link: u64,
+        /// Drop reason label (`"queue_overflow"`, `"random_loss"`,
+        /// `"policed"`, `"link_down"`).
+        reason: &'static str,
+        /// Wire size of the dropped packet, bytes.
+        wire_size: u64,
+    },
+    /// Packet lifecycle record, folded in from the simulator's packet
+    /// tracer.
+    Packet {
+        /// Source endpoint, formatted `node:port`.
+        src: String,
+        /// Destination endpoint, formatted `node:port`.
+        dst: String,
+        /// Wire protocol label (`"tcp"`, `"udp"`, `"udt"`).
+        proto: &'static str,
+        /// Wire size, bytes.
+        wire_size: u64,
+        /// Lifecycle outcome (`"sent"`, `"delivered"`,
+        /// `"dropped:queue_overflow"`, ...).
+        outcome: String,
+    },
+    /// Component-scheduler ready-queue depth right after an enqueue.
+    SchedulerQueue {
+        /// Components queued (including the one just enqueued).
+        depth: u64,
+    },
+    /// One component execute batch.
+    ComponentExec {
+        /// Component id.
+        component: u64,
+        /// Messages/events handled in this batch. Deliberately a
+        /// deterministic count, not a wall-clock duration — see the
+        /// determinism notes in DESIGN.md §8.
+        handled: u64,
+    },
+    /// One Sarsa(λ) decision.
+    Decision {
+        /// Flow label of the learner instance.
+        flow: u64,
+        /// Learner step counter at decision time.
+        step: u64,
+        /// Discretised state index the decision was made in.
+        state: u64,
+        /// Chosen action index.
+        action: u64,
+        /// Reward observed for the previous action.
+        reward: f64,
+        /// Exploration rate at decision time.
+        epsilon: f64,
+        /// Whether the chosen action was the greedy one.
+        greedy: bool,
+    },
+    /// Generic instrumentation marker for tests and harnesses.
+    Mark {
+        /// Caller-defined marker id.
+        id: u64,
+        /// Caller-defined value.
+        value: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case label of the variant, used as the JSON `kind`
+    /// field and for per-kind event counts in snapshots.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::TcpCwnd { .. } => "tcp_cwnd",
+            EventKind::TcpRto { .. } => "tcp_rto",
+            EventKind::TcpRetransmit { .. } => "tcp_retransmit",
+            EventKind::UdtRate { .. } => "udt_rate",
+            EventKind::UdtNak { .. } => "udt_nak",
+            EventKind::LinkQueue { .. } => "link_queue",
+            EventKind::LinkDrop { .. } => "link_drop",
+            EventKind::Packet { .. } => "packet",
+            EventKind::SchedulerQueue { .. } => "scheduler_queue",
+            EventKind::ComponentExec { .. } => "component_exec",
+            EventKind::Decision { .. } => "decision",
+            EventKind::Mark { .. } => "mark",
+        }
+    }
+}

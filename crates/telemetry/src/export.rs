@@ -1,0 +1,228 @@
+//! Hand-rolled JSON encoding for telemetry output.
+//!
+//! The workspace carries no JSON dependency, so the exporters build their
+//! output with plain string pushes, exactly like the bench harness does
+//! for `BENCH_engine.json`. Key order is fixed per event kind and metric
+//! maps are iterated in `BTreeMap` order, so two runs that record the same
+//! data emit byte-identical text — the property the determinism tests
+//! assert.
+
+use crate::event::{Event, EventKind};
+
+/// Appends `s` as a JSON string literal (quotes + backslash escaping, plus
+/// control-character escapes).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends an `f64` as a JSON number.
+///
+/// Uses Rust's shortest-round-trip `Display`, which is a pure function of
+/// the bits — deterministic across runs. Non-finite values (which JSON
+/// cannot represent) encode as `null`.
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn field_u64(out: &mut String, key: &str, v: u64) {
+    out.push(',');
+    push_json_str(out, key);
+    out.push(':');
+    out.push_str(&format!("{v}"));
+}
+
+fn field_f64(out: &mut String, key: &str, v: f64) {
+    out.push(',');
+    push_json_str(out, key);
+    out.push(':');
+    push_json_f64(out, v);
+}
+
+fn field_str(out: &mut String, key: &str, v: &str) {
+    out.push(',');
+    push_json_str(out, key);
+    out.push(':');
+    push_json_str(out, v);
+}
+
+fn field_bool(out: &mut String, key: &str, v: bool) {
+    out.push(',');
+    push_json_str(out, key);
+    out.push(':');
+    out.push_str(if v { "true" } else { "false" });
+}
+
+/// Appends one event as a single-line JSON object (no trailing newline).
+///
+/// Every line starts with `"t"` (virtual-clock nanoseconds) and `"kind"`,
+/// followed by the variant's fields in declaration order.
+pub fn push_event_json(out: &mut String, ev: &Event) {
+    out.push_str("{\"t\":");
+    out.push_str(&format!("{}", ev.time_ns));
+    out.push_str(",\"kind\":");
+    push_json_str(out, ev.kind.label());
+    match &ev.kind {
+        EventKind::TcpCwnd {
+            conn,
+            cwnd,
+            ssthresh,
+            cause,
+        } => {
+            field_u64(out, "conn", *conn);
+            field_f64(out, "cwnd", *cwnd);
+            field_f64(out, "ssthresh", *ssthresh);
+            field_str(out, "cause", cause);
+        }
+        EventKind::TcpRto {
+            conn,
+            rto_us,
+            consecutive,
+        } => {
+            field_u64(out, "conn", *conn);
+            field_u64(out, "rto_us", *rto_us);
+            field_u64(out, "consecutive", *consecutive);
+        }
+        EventKind::TcpRetransmit { conn, seq, fast } => {
+            field_u64(out, "conn", *conn);
+            field_u64(out, "seq", *seq);
+            field_bool(out, "fast", *fast);
+        }
+        EventKind::UdtRate {
+            conn,
+            period_us,
+            rate_pps,
+            cause,
+        } => {
+            field_u64(out, "conn", *conn);
+            field_f64(out, "period_us", *period_us);
+            field_f64(out, "rate_pps", *rate_pps);
+            field_str(out, "cause", cause);
+        }
+        EventKind::UdtNak { conn, sent, losses } => {
+            field_u64(out, "conn", *conn);
+            field_bool(out, "sent", *sent);
+            field_u64(out, "losses", *losses);
+        }
+        EventKind::LinkQueue {
+            link,
+            backlog_bytes,
+            capacity_bytes,
+        } => {
+            field_u64(out, "link", *link);
+            field_u64(out, "backlog_bytes", *backlog_bytes);
+            field_u64(out, "capacity_bytes", *capacity_bytes);
+        }
+        EventKind::LinkDrop {
+            link,
+            reason,
+            wire_size,
+        } => {
+            field_u64(out, "link", *link);
+            field_str(out, "reason", reason);
+            field_u64(out, "wire_size", *wire_size);
+        }
+        EventKind::Packet {
+            src,
+            dst,
+            proto,
+            wire_size,
+            outcome,
+        } => {
+            field_str(out, "src", src);
+            field_str(out, "dst", dst);
+            field_str(out, "proto", proto);
+            field_u64(out, "wire_size", *wire_size);
+            field_str(out, "outcome", outcome);
+        }
+        EventKind::SchedulerQueue { depth } => {
+            field_u64(out, "depth", *depth);
+        }
+        EventKind::ComponentExec { component, handled } => {
+            field_u64(out, "component", *component);
+            field_u64(out, "handled", *handled);
+        }
+        EventKind::Decision {
+            flow,
+            step,
+            state,
+            action,
+            reward,
+            epsilon,
+            greedy,
+        } => {
+            field_u64(out, "flow", *flow);
+            field_u64(out, "step", *step);
+            field_u64(out, "state", *state);
+            field_u64(out, "action", *action);
+            field_f64(out, "reward", *reward);
+            field_f64(out, "epsilon", *epsilon);
+            field_bool(out, "greedy", *greedy);
+        }
+        EventKind::Mark { id, value } => {
+            field_u64(out, "id", *id);
+            field_u64(out, "value", *value);
+        }
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_lines_are_stable() {
+        let mut out = String::new();
+        push_event_json(
+            &mut out,
+            &Event {
+                time_ns: 42,
+                kind: EventKind::TcpCwnd {
+                    conn: 7,
+                    cwnd: 2920.0,
+                    ssthresh: 64000.5,
+                    cause: "rto",
+                },
+            },
+        );
+        assert_eq!(
+            out,
+            "{\"t\":42,\"kind\":\"tcp_cwnd\",\"conn\":7,\"cwnd\":2920,\
+             \"ssthresh\":64000.5,\"cause\":\"rto\"}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        push_json_f64(&mut out, f64::NAN);
+        out.push(' ');
+        push_json_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null null");
+    }
+}

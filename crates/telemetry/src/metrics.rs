@@ -1,0 +1,275 @@
+//! Low-overhead metric instruments: counters, gauges and log-linear
+//! histograms.
+//!
+//! Instruments are cheap cloneable handles around atomics. Every mutation
+//! first checks the owning recorder's `enabled` flag with one relaxed
+//! atomic load, so a disabled recorder reduces each instrumented call site
+//! to a load-and-branch — the property the engine overhead-guard bench
+//! pins down.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter (no-op while the recorder is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one (no-op while the recorder is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge (no-op while the recorder is disabled).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 until first set).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Values below this threshold get their own exact bucket.
+const LINEAR_MAX: u64 = 16;
+/// Sub-buckets per power of two above the linear range.
+const SUB: usize = 16;
+/// Total bucket count covering the full `u64` range.
+const BUCKETS: usize = LINEAR_MAX as usize + 60 * SUB;
+
+/// Shared storage behind [`Histogram`] handles.
+pub(crate) struct HistogramCells {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCells {
+    pub(crate) fn new() -> Self {
+        HistogramCells {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for HistogramCells {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistogramCells")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Bucket index for a value: exact below [`LINEAR_MAX`], then 16 linear
+/// sub-buckets per power of two (log-linear, HdrHistogram-style).
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (msb - 4)) & 0xF) as usize;
+        LINEAR_MAX as usize + (msb - 4) * SUB + sub
+    }
+}
+
+/// Lowest value that lands in bucket `i` (inverse of [`bucket_index`]).
+fn bucket_floor(i: usize) -> u64 {
+    if i < LINEAR_MAX as usize {
+        i as u64
+    } else {
+        let oct = (i - LINEAR_MAX as usize) / SUB + 4;
+        let sub = ((i - LINEAR_MAX as usize) % SUB) as u64;
+        (LINEAR_MAX + sub) << (oct - 4)
+    }
+}
+
+/// Point-in-time view of a histogram, with approximate percentiles
+/// (resolved to the floor of the containing log-linear bucket, i.e. within
+/// ~6.25% of the true value).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 90th percentile.
+    pub p90: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+/// A log-linear histogram of `u64` samples (16 sub-buckets per power of
+/// two), with exact count/sum/min/max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) cells: Arc<HistogramCells>,
+}
+
+impl Histogram {
+    /// Records one sample (no-op while the recorder is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let c = &self.cells;
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.cells.count.load(Ordering::Relaxed)
+    }
+
+    /// Takes a consistent-enough snapshot for reporting. (Individual cells
+    /// are read independently; in the single-threaded simulator the view
+    /// is exact.)
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.cells;
+        let count = c.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+            };
+        }
+        let percentile = |p: f64| -> u64 {
+            let rank = ((p * count as f64).ceil() as u64).max(1);
+            let mut seen = 0u64;
+            for (i, b) in c.buckets.iter().enumerate() {
+                seen += b.load(Ordering::Relaxed);
+                if seen >= rank {
+                    return bucket_floor(i);
+                }
+            }
+            c.max.load(Ordering::Relaxed)
+        };
+        HistogramSnapshot {
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: c.min.load(Ordering::Relaxed),
+            max: c.max.load(Ordering::Relaxed),
+            p50: percentile(0.50),
+            p90: percentile(0.90),
+            p99: percentile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_floor() {
+        for v in [0u64, 1, 15, 16, 17, 31, 32, 100, 1023, 1024, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            let floor = bucket_floor(i);
+            assert!(floor <= v, "floor({i}) = {floor} > {v}");
+            // Next bucket starts above v.
+            if i + 1 < BUCKETS {
+                assert!(bucket_floor(i + 1) > v, "v {v} not below next bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_floors() {
+        let enabled = Arc::new(AtomicBool::new(true));
+        let h = Histogram {
+            enabled,
+            cells: Arc::new(HistogramCells::new()),
+        };
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 500_500);
+        // log-linear resolution: within one sub-bucket (6.25%) below truth
+        assert!(s.p50 <= 500 && s.p50 >= 468, "p50 = {}", s.p50);
+        assert!(s.p90 <= 900 && s.p90 >= 843, "p90 = {}", s.p90);
+        assert!(s.p99 <= 990 && s.p99 >= 927, "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn disabled_instruments_are_noops() {
+        let enabled = Arc::new(AtomicBool::new(false));
+        let c = Counter {
+            enabled: enabled.clone(),
+            cell: Arc::new(AtomicU64::new(0)),
+        };
+        let g = Gauge {
+            enabled: enabled.clone(),
+            cell: Arc::new(AtomicU64::new(0)),
+        };
+        let h = Histogram {
+            enabled,
+            cells: Arc::new(HistogramCells::new()),
+        };
+        c.inc();
+        g.set(3.5);
+        h.record(9);
+        assert_eq!(c.value(), 0);
+        assert_eq!(g.value(), 0.0);
+        assert_eq!(h.count(), 0);
+    }
+}
