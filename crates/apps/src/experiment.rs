@@ -11,7 +11,7 @@ use std::time::Duration;
 use kmsg_core::data::FlowPoint;
 use kmsg_core::prelude::*;
 use kmsg_netsim::rng::SeedSource;
-use kmsg_netsim::{Recorder, RecorderTracer};
+use kmsg_netsim::{FaultController, FaultPlan, Recorder, RecorderTracer};
 
 use crate::dataset::Dataset;
 use crate::ping::{PingStats, Pinger, PingerConfig, Ponger};
@@ -71,11 +71,18 @@ pub struct ExperimentConfig {
     pub max_sim_time: Duration,
     /// Receiver sampling window (throughput / wire-ratio series).
     pub sample_every: Duration,
+    /// Scripted fault injections applied to the world (chaos runs);
+    /// `None` leaves the network healthy.
+    pub faults: Option<FaultPlan>,
     /// Enable the flight recorder: every layer's telemetry events (TCP
     /// cwnd transitions, UDT rate updates, link drops, scheduler depth,
     /// learner decisions, per-packet traces) are captured in the sim's
     /// [`Recorder`], exposed via [`ExperimentResult::recorder`].
     pub telemetry: bool,
+    /// Flight-recorder ring capacity override. Long chaos runs overflow
+    /// the default 65 536-event ring and evict the mid-run supervision
+    /// events; `None` keeps the default.
+    pub telemetry_capacity: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -97,7 +104,9 @@ impl ExperimentConfig {
             use_disk: true,
             max_sim_time: Duration::from_secs(1200),
             sample_every: Duration::from_secs(1),
+            faults: None,
             telemetry: false,
+            telemetry_capacity: None,
         }
     }
 
@@ -119,7 +128,9 @@ impl ExperimentConfig {
             use_disk: true,
             max_sim_time: duration,
             sample_every: Duration::from_secs(1),
+            faults: None,
             telemetry: false,
+            telemetry_capacity: None,
         }
     }
 }
@@ -144,6 +155,11 @@ pub struct ExperimentResult {
     pub sender_net: MiddlewareStats,
     /// Receiver-side middleware counters.
     pub receiver_net: MiddlewareStats,
+    /// Duplicate chunks the receiver deduplicated (at-least-once
+    /// redelivery during supervised reconnects surfaces here).
+    pub duplicates: u64,
+    /// Link-level fault actions the scripted plan applied.
+    pub faults_applied: u64,
     /// Simulation events executed (diagnostics).
     pub events: u64,
     /// The simulation's telemetry recorder — populated when
@@ -162,12 +178,20 @@ pub struct ExperimentResult {
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let world = two_host_world(cfg.seed, &cfg.setup);
     if cfg.telemetry {
+        if let Some(cap) = cfg.telemetry_capacity {
+            world.sim.recorder().set_capacity(cap);
+        }
         world.sim.recorder().enable();
         // Fold the packet tracer into the same flight-recorder stream.
         world
             .net
             .set_tracer(RecorderTracer::new(world.sim.recorder().clone()));
     }
+    let fault_ctl = cfg
+        .faults
+        .clone()
+        .filter(|p| !p.is_empty())
+        .map(|p| FaultController::install(&world.net, p));
     let a_addr = NetAddress::new(world.host_a, SENDER_PORT);
     let b_addr = NetAddress::new(world.host_b, RECEIVER_PORT);
 
@@ -299,6 +323,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
 
     let sender_net = a_net_stats.lock().clone();
     let receiver_net = b_net_stats.lock().clone();
+    let duplicates = transfer_parts
+        .as_ref()
+        .map_or(0, |(_, _, rx_stats, _)| rx_stats.lock().duplicates);
     ExperimentResult {
         transfer_time,
         throughput,
@@ -308,6 +335,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         ping,
         sender_net,
         receiver_net,
+        duplicates,
+        faults_applied: fault_ctl.map_or(0, |c| c.applied()),
         events: world.sim.events_executed(),
         recorder: world.sim.recorder().clone(),
     }

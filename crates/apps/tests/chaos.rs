@@ -1,0 +1,105 @@
+//! Chaos integration: a `Transport::Data` transfer driven through a
+//! scripted two-second partition must ride it out — the supervised
+//! channels die, redial with backoff, and the transfer completes after
+//! the heal with the content verifying (exactly-once at the session
+//! layer). Two runs with the same seed must emit byte-identical
+//! flight-recorder telemetry.
+
+use std::time::Duration;
+
+use kmsg_apps::{run_experiment, Dataset, ExperimentConfig, Setup};
+use kmsg_core::prelude::*;
+use kmsg_netsim::faults::FaultPlan;
+use kmsg_netsim::link::LinkConfig;
+use kmsg_netsim::packet::NodeId;
+use kmsg_netsim::time::SimTime;
+
+/// A 10 MB/s, 20 ms RTT link: slow enough that a 12 MB transfer spans the
+/// partition window, fast enough to finish in simulated seconds.
+fn chaos_setup() -> Setup {
+    Setup::Custom {
+        label: "chaos-10MB/s-10ms",
+        link: LinkConfig::new(10e6, Duration::from_millis(10)),
+    }
+}
+
+/// Impatient transports so channel death — and with it supervision — is
+/// observable inside a two-second outage, plus a generous redial budget.
+fn impatient_template() -> NetworkConfig {
+    // The harness overwrites the address per host.
+    let mut cfg = NetworkConfig::new(NetAddress::new(NodeId::from_index(0), 0));
+    cfg.tcp.min_rto = Duration::from_millis(100);
+    cfg.tcp.max_rto = Duration::from_millis(400);
+    cfg.tcp.max_consecutive_timeouts = 3;
+    cfg.tcp.syn_retries = 1;
+    cfg.udt.exp_timeout = Duration::from_millis(100);
+    cfg.udt.max_expirations = 5;
+    cfg.reconnect = Some(ReconnectConfig {
+        max_retries: 30,
+        base_backoff: Duration::from_millis(100),
+        max_backoff: Duration::from_millis(400),
+        probe_interval: Some(Duration::from_secs(2)),
+    });
+    cfg
+}
+
+/// A 12 MB DATA transfer cut by a full partition from 0.6 s to 2.6 s.
+fn chaos_config(seed: u64) -> ExperimentConfig {
+    let dataset = Dataset::random(12_000_000, 5);
+    let mut cfg = ExperimentConfig::transfer(chaos_setup(), Transport::Data, dataset, seed);
+    cfg.net_template = Some(impatient_template());
+    cfg.max_sim_time = Duration::from_secs(120);
+    cfg.telemetry = true;
+    cfg.faults = Some(FaultPlan::new().partition_between(
+        SimTime::from_millis(600),
+        SimTime::from_millis(2600),
+        &[NodeId::from_index(0)],
+        &[NodeId::from_index(1)],
+    ));
+    cfg
+}
+
+#[test]
+fn data_transfer_rides_out_a_two_second_partition() {
+    let result = run_experiment(&chaos_config(11));
+    assert!(result.verified, "content must verify after the partition");
+    let thr = result.throughput.expect("transfer must complete after the heal");
+    assert!(thr > 0.0, "goodput after heal, got {thr}");
+    assert_eq!(result.faults_applied, 4, "2 links severed + 2 healed");
+    assert!(
+        result.sender_net.reconnects >= 1,
+        "the supervisor must have reconnected at least one channel: {:?}",
+        result.sender_net
+    );
+    // Redelivered chunks are deduplicated at the session layer, never
+    // surfaced twice (verified == true already implies this; the counter
+    // additionally accounts for every redundant delivery).
+    let jsonl = result.recorder.to_jsonl();
+    assert!(
+        jsonl.contains("\"conn_status\""),
+        "supervision transitions must reach the flight recorder"
+    );
+    assert!(jsonl.contains("\"lost\""), "ConnectionLost must be recorded");
+    assert!(jsonl.contains("\"restored\""), "ConnectionRestored must be recorded");
+}
+
+#[test]
+fn same_seed_chaos_runs_are_byte_identical() {
+    let run = || {
+        let result = run_experiment(&chaos_config(23));
+        assert!(result.verified, "each run must complete and verify");
+        (
+            result.faults_applied,
+            result.sender_net.reconnects,
+            result.duplicates,
+            result.recorder.to_jsonl(),
+        )
+    };
+    let (faults_1, reconnects_1, dups_1, jsonl_1) = run();
+    let (faults_2, reconnects_2, dups_2, jsonl_2) = run();
+    assert_eq!(faults_1, faults_2);
+    assert_eq!(reconnects_1, reconnects_2);
+    assert_eq!(dups_1, dups_2);
+    assert!(jsonl_1.contains("\"fault\""), "injections must be in the stream");
+    assert_eq!(jsonl_1, jsonl_2, "chaos telemetry must replay byte-for-byte");
+}

@@ -350,6 +350,8 @@ mod summary_tests {
             ping: None,
             sender_net: MiddlewareStats::default(),
             receiver_net: MiddlewareStats::default(),
+            duplicates: 0,
+            faults_applied: 0,
             events: 0,
             recorder: kmsg_telemetry::Recorder::new(),
         };

@@ -364,6 +364,11 @@ impl DataNetworkComponent {
     fn handle_net_indication(&mut self, now: SimTime, ind: NetIndication) {
         match ind {
             NetIndication::Msg(msg) => self.app_port.trigger(NetIndication::Msg(msg)),
+            // Channel supervision status: applications may care (e.g. to
+            // pause a transfer), so pass it up unchanged.
+            NetIndication::Status(status) => {
+                self.app_port.trigger(NetIndication::Status(status));
+            }
             NetIndication::NotifyResp(token, status) => {
                 if token.vnode.is_none() && token.id >= INTERNAL_NOTIFY_BASE {
                     if let Some((dst, len, orig, released_at, proto)) =

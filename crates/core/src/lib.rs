@@ -82,10 +82,13 @@ pub use address::{Address, NetAddress, VnodeId};
 pub use data::{DataNetwork, DataNetworkComponent, DataNetworkConfig, Ratio};
 pub use header::{BasicHeader, DataHeader, Header, NetHeader, Route, RoutingHeader};
 pub use msg::{
-    DeliveryStatus, Msg, NetIndication, NetMessage, NetRequest, NetworkPort, NotifyToken,
-    SendError,
+    ChannelStatus, ConnStatus, DeliveryStatus, Msg, NetIndication, NetMessage, NetRequest,
+    NetworkPort, NotifyToken, SendError,
 };
-pub use net::{create_network, MiddlewareStats, NetworkComponent, NetworkConfig, StatsHandle};
+pub use net::{
+    create_network, MiddlewareStats, NetworkComponent, NetworkConfig, ReconnectConfig,
+    StatsHandle,
+};
 pub use ser::{Deserialiser, SerError, SerId, SerRegistry, Serialisable};
 pub use transport::Transport;
 
@@ -98,11 +101,12 @@ pub mod prelude {
     };
     pub use crate::header::{BasicHeader, DataHeader, Header, NetHeader, Route, RoutingHeader};
     pub use crate::msg::{
-        DeliveryStatus, Msg, NetIndication, NetMessage, NetRequest, NetworkPort, NotifyToken,
-        SendError,
+        ChannelStatus, ConnStatus, DeliveryStatus, Msg, NetIndication, NetMessage, NetRequest,
+        NetworkPort, NotifyToken, SendError,
     };
     pub use crate::net::{
-        create_network, MiddlewareStats, NetworkComponent, NetworkConfig, StatsHandle,
+        create_network, MiddlewareStats, NetworkComponent, NetworkConfig, ReconnectConfig,
+        StatsHandle,
     };
     pub use crate::ser::{Deserialiser, SerError, SerId, SerRegistry, Serialisable};
     pub use crate::transport::Transport;

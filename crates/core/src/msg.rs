@@ -218,6 +218,50 @@ pub enum SendError {
     /// `Transport::Data` reached the network component without an
     /// interceptor having resolved it.
     UnresolvedDataProtocol,
+    /// Channel supervision exhausted its reconnect budget with this
+    /// message still queued or unacknowledged.
+    RetryBudgetExhausted,
+}
+
+impl SendError {
+    /// Number of variants (sizes per-kind counter arrays).
+    pub const COUNT: usize = 6;
+
+    /// Stable snake_case label for stats/telemetry output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SendError::TooLargeForUdp => "too_large_for_udp",
+            SendError::ChannelClosed => "channel_closed",
+            SendError::Unreachable => "unreachable",
+            SendError::Serialisation => "serialisation",
+            SendError::UnresolvedDataProtocol => "unresolved_data_protocol",
+            SendError::RetryBudgetExhausted => "retry_budget_exhausted",
+        }
+    }
+
+    /// Stable index into per-kind counter arrays (declaration order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            SendError::TooLargeForUdp => 0,
+            SendError::ChannelClosed => 1,
+            SendError::Unreachable => 2,
+            SendError::Serialisation => 3,
+            SendError::UnresolvedDataProtocol => 4,
+            SendError::RetryBudgetExhausted => 5,
+        }
+    }
+
+    /// All variants, in index order.
+    pub const ALL: [SendError; SendError::COUNT] = [
+        SendError::TooLargeForUdp,
+        SendError::ChannelClosed,
+        SendError::Unreachable,
+        SendError::Serialisation,
+        SendError::UnresolvedDataProtocol,
+        SendError::RetryBudgetExhausted,
+    ];
 }
 
 /// Outcome reported for a notification request.
@@ -259,6 +303,47 @@ impl NetRequest {
     }
 }
 
+/// Channel status transitions reported by the network component's
+/// supervisor, so components above can observe outages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnStatus {
+    /// The channel closed unexpectedly; the supervisor is redialling.
+    ConnectionLost,
+    /// A redial succeeded after `attempts` tries; queued frames are being
+    /// re-sent (at-least-once — the session layer deduplicates).
+    ConnectionRestored {
+        /// Reconnect attempts it took to restore the channel.
+        attempts: u32,
+    },
+    /// The reconnect budget is exhausted; queued frames were failed. The
+    /// supervisor keeps probing and reports `ConnectionRestored` on
+    /// recovery.
+    ConnectionDropped,
+}
+
+impl ConnStatus {
+    /// Stable snake_case label for telemetry output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ConnStatus::ConnectionLost => "lost",
+            ConnStatus::ConnectionRestored { .. } => "restored",
+            ConnStatus::ConnectionDropped => "dropped",
+        }
+    }
+}
+
+/// A [`ConnStatus`] transition together with the channel it happened on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelStatus {
+    /// The remote peer of the supervised channel.
+    pub peer: NetAddress,
+    /// The channel's transport.
+    pub transport: Transport,
+    /// What happened.
+    pub status: ConnStatus,
+}
+
 /// Indications travelling *from* the network component.
 #[derive(Debug, Clone)]
 pub enum NetIndication {
@@ -267,6 +352,9 @@ pub enum NetIndication {
     /// Answer to a notification request (the paper's
     /// `MessageNotify.Resp`).
     NotifyResp(NotifyToken, DeliveryStatus),
+    /// A supervised channel changed status (outage observed, reconnect
+    /// succeeded, or the supervisor gave up).
+    Status(ChannelStatus),
 }
 
 /// Kompics' network port (listing 1): messages travel in both directions;

@@ -37,13 +37,61 @@ use kmsg_netsim::tcp::{TcpConfig, TcpConn, TcpListener};
 use kmsg_netsim::udp::{UdpEvents, UdpSocket, MAX_DATAGRAM};
 use kmsg_netsim::udt::{UdtConfig, UdtConn, UdtListener};
 
+use kmsg_netsim::rng::RngStream;
+use kmsg_telemetry::EventKind;
+use rand::Rng;
+
 use crate::address::{Address, NetAddress};
 use crate::header::NetHeader;
 use crate::msg::{
-    DeliveryStatus, NetIndication, NetMessage, NetRequest, NetworkPort, NotifyToken, SendError,
+    ChannelStatus, ConnStatus, DeliveryStatus, NetIndication, NetMessage, NetRequest,
+    NetworkPort, NotifyToken, SendError,
 };
 use crate::transport::Transport;
 use frame::{decode_frame_body, encode_frame, Compression, FrameDecoder};
+
+/// Channel supervision tuning: reconnect with exponential backoff and
+/// deterministic jitter, within a bounded retry budget (DESIGN.md §9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconnectConfig {
+    /// Redial attempts before the supervisor gives up and fails the
+    /// channel's queued frames.
+    pub max_retries: u32,
+    /// Backoff before the first redial; doubles per attempt.
+    pub base_backoff: std::time::Duration,
+    /// Backoff ceiling.
+    pub max_backoff: std::time::Duration,
+    /// After the budget is exhausted, keep probing the peer at this
+    /// interval so the channel can recover; `None` leaves the channel
+    /// dropped until the component restarts.
+    pub probe_interval: Option<std::time::Duration>,
+}
+
+impl Default for ReconnectConfig {
+    fn default() -> Self {
+        ReconnectConfig {
+            max_retries: 8,
+            base_backoff: std::time::Duration::from_millis(200),
+            max_backoff: std::time::Duration::from_secs(10),
+            probe_interval: Some(std::time::Duration::from_secs(5)),
+        }
+    }
+}
+
+impl ReconnectConfig {
+    /// The deterministic backoff before redial `attempt` (1-based):
+    /// `min(base · 2^(attempt-1), max) · u`, with `u` drawn uniformly from
+    /// `[0.75, 1.25)` out of the component's seeded jitter stream.
+    fn backoff(&self, attempt: u32, rng: &mut RngStream) -> std::time::Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let jitter: f64 = 0.75 + 0.5 * rng.gen::<f64>();
+        std::time::Duration::from_secs_f64(raw.as_secs_f64() * jitter)
+    }
+}
 
 /// Configuration of a [`NetworkComponent`].
 #[derive(Debug, Clone)]
@@ -64,6 +112,11 @@ pub struct NetworkConfig {
     /// Close channels idle for this long; `None` (default) keeps channels
     /// open for the lifetime of the component.
     pub idle_timeout: Option<std::time::Duration>,
+    /// Channel supervision: on an unexpected close, keep the channel entry,
+    /// requeue unacknowledged frames and redial with backoff. `None`
+    /// restores the legacy at-most-once behaviour (queued and unacked
+    /// frames fail immediately with [`SendError::ChannelClosed`]).
+    pub reconnect: Option<ReconnectConfig>,
 }
 
 impl NetworkConfig {
@@ -77,6 +130,7 @@ impl NetworkConfig {
             compression: Compression::default(),
             data_fallback: Some(Transport::Tcp),
             idle_timeout: None,
+            reconnect: Some(ReconnectConfig::default()),
         }
     }
 }
@@ -97,8 +151,11 @@ pub struct MiddlewareStats {
     pub bytes_out: u64,
     /// Bytes received from transports (before decompression).
     pub bytes_in: u64,
-    /// Failed sends.
+    /// Failed sends (all kinds; see `send_failures_by` for the breakdown).
     pub send_failures: u64,
+    /// Failed sends broken out by [`SendError`] kind (indexed by
+    /// [`SendError::index`]).
+    pub send_failures_by: [u64; SendError::COUNT],
     /// Frames that failed to decode.
     pub decode_failures: u64,
     /// Messages that reached the network layer with an unresolved `DATA`
@@ -108,6 +165,15 @@ pub struct MiddlewareStats {
     pub channels_opened: u64,
     /// Channels closed.
     pub channels_closed: u64,
+    /// Redial attempts made by channel supervision.
+    pub reconnect_attempts: u64,
+    /// Channels successfully re-established by supervision.
+    pub reconnects: u64,
+    /// Channels whose reconnect budget was exhausted.
+    pub channels_dropped: u64,
+    /// `DATA` messages rerouted to the surviving transport because the
+    /// selected transport's channel was dropped.
+    pub failovers: u64,
 }
 
 impl MiddlewareStats {
@@ -121,6 +187,12 @@ impl MiddlewareStats {
     #[must_use]
     pub fn total_received(&self) -> u64 {
         self.received.iter().sum()
+    }
+
+    /// The failure counter for one [`SendError`] kind.
+    #[must_use]
+    pub fn send_failures_of(&self, kind: SendError) -> u64 {
+        self.send_failures_by[kind.index()]
     }
 }
 
@@ -203,15 +275,45 @@ struct OutFrame {
     notify: Option<NotifyToken>,
 }
 
+/// A fully written frame waiting for the transport to acknowledge its last
+/// byte. The frame bytes are retained so supervision can requeue unacked
+/// frames onto a fresh connection (at-least-once within the retry budget).
+struct AckFrame {
+    /// `written_total` at the frame's end.
+    end: u64,
+    bytes: Bytes,
+    notify: Option<NotifyToken>,
+}
+
+/// Lifecycle of a supervised channel (DESIGN.md §9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Initial dial in progress.
+    Connecting,
+    /// Handshake complete; frames flow.
+    Established,
+    /// Unexpected close observed; `attempts` redials made so far.
+    Reconnecting {
+        /// Redial attempts made so far (1-based once the first is due).
+        attempts: u32,
+    },
+    /// Retry budget exhausted; queued frames were failed. Probe redials
+    /// may still restore the channel.
+    Dropped,
+}
+
 struct ChannelState {
     conn: Option<Connection>,
-    established: bool,
+    phase: Phase,
+    /// Whether this side dialled the channel. Only originated channels are
+    /// supervised — for accepted channels the peer's supervisor redials.
+    originated: bool,
     pending: VecDeque<OutFrame>,
     /// Payload bytes fully handed to the transport so far.
     written_total: u64,
-    /// Notification tokens waiting for the transport to acknowledge the
-    /// frame's final byte: `(written_total at frame end, token)`.
-    awaiting_ack: VecDeque<(u64, NotifyToken)>,
+    /// Fully written frames whose final byte the transport has not yet
+    /// acknowledged, oldest first.
+    awaiting_ack: VecDeque<AckFrame>,
     decoder: FrameDecoder,
     last_activity: kmsg_netsim::time::SimTime,
 }
@@ -220,13 +322,18 @@ impl ChannelState {
     fn new() -> Self {
         ChannelState {
             conn: None,
-            established: false,
+            phase: Phase::Connecting,
+            originated: true,
             pending: VecDeque::new(),
             written_total: 0,
             awaiting_ack: VecDeque::new(),
             decoder: FrameDecoder::new(),
             last_activity: kmsg_netsim::time::SimTime::ZERO,
         }
+    }
+
+    fn established(&self) -> bool {
+        self.phase == Phase::Established
     }
 }
 
@@ -244,6 +351,12 @@ pub struct NetworkComponent {
     udp: Option<UdpSocket>,
     listeners: Vec<Box<dyn std::any::Any + Send>>,
     stats: StatsHandle,
+    /// Pending supervision redial timers, mapped back to their channel.
+    retry_timers: HashMap<TimeoutId, ChannelKey>,
+    /// The periodic idle-sweep timer, if idle teardown is configured.
+    idle_timer: Option<TimeoutId>,
+    /// Seeded stream for deterministic backoff jitter.
+    jitter_rng: RngStream,
 }
 
 impl std::fmt::Debug for NetworkComponent {
@@ -260,6 +373,9 @@ impl NetworkComponent {
     /// binds the listeners.
     #[must_use]
     pub fn new(net: Network, cfg: NetworkConfig) -> Self {
+        let jitter_rng = net
+            .sim()
+            .rng(&format!("net-supervisor-{}", cfg.addr.as_socket()));
         NetworkComponent {
             port: ProvidedPort::new(),
             events: SelfPort::new(),
@@ -271,6 +387,9 @@ impl NetworkComponent {
             udp: None,
             listeners: Vec::new(),
             stats: Arc::new(Mutex::new(MiddlewareStats::default())),
+            retry_timers: HashMap::new(),
+            idle_timer: None,
+            jitter_rng,
         }
     }
 
@@ -293,8 +412,41 @@ impl NetworkComponent {
     }
 
     fn fail(&self, token: Option<NotifyToken>, error: SendError) {
-        self.stats.lock().send_failures += 1;
+        {
+            let mut stats = self.stats.lock();
+            stats.send_failures += 1;
+            stats.send_failures_by[error.index()] += 1;
+        }
         self.notify(token, DeliveryStatus::Failed(error));
+    }
+
+    /// Surfaces a channel status transition on the network port and in the
+    /// flight recorder (the latter is how the learner's telemetry stream
+    /// observes outages alongside its `Decision` events).
+    fn emit_status(&self, key: ChannelKey, status: ConnStatus) {
+        let sim = self.net.sim();
+        let rec = sim.recorder();
+        if rec.is_enabled() {
+            let attempts = match status {
+                ConnStatus::ConnectionRestored { attempts } => u64::from(attempts),
+                _ => 0,
+            };
+            rec.record(
+                sim.now().as_nanos(),
+                EventKind::ConnStatus {
+                    peer: (u64::from(key.remote.node.index()) << 16)
+                        | u64::from(key.remote.port),
+                    transport: key.transport.label(),
+                    status: status.label(),
+                    attempts,
+                },
+            );
+        }
+        self.port.trigger(NetIndication::Status(ChannelStatus {
+            peer: NetAddress::new(key.remote.node, key.remote.port),
+            transport: key.transport,
+            status,
+        }));
     }
 
     // --- outbound -------------------------------------------------------
@@ -323,6 +475,35 @@ impl NetworkComponent {
                     self.fail(token, SendError::UnresolvedDataProtocol);
                     return;
                 }
+            }
+        }
+        // Graceful degradation: DATA-addressed traffic whose selected
+        // stream transport has exhausted its reconnect budget fails over to
+        // the surviving stream transport, and recovers automatically once
+        // the preferred channel is restored (its phase leaves `Dropped`).
+        if matches!(msg.header(), NetHeader::Data(_))
+            && matches!(proto, Transport::Tcp | Transport::Udt)
+        {
+            let alt = if proto == Transport::Tcp {
+                Transport::Udt
+            } else {
+                Transport::Tcp
+            };
+            let socket = dst.as_socket();
+            let dropped = |t: Transport| {
+                self.channels
+                    .get(&ChannelKey {
+                        remote: socket,
+                        transport: t,
+                    })
+                    .is_some_and(|c| c.phase == Phase::Dropped)
+            };
+            if dropped(proto) && !dropped(alt) {
+                proto = alt;
+                if let NetHeader::Data(h) = msg.header_mut() {
+                    h.selected = Some(alt);
+                }
+                self.stats.lock().failovers += 1;
             }
         }
         let encoded = match encode_frame(&msg, self.cfg.compression) {
@@ -372,12 +553,18 @@ impl NetworkComponent {
             remote: dst.as_socket(),
             transport: proto,
         };
-        if !self.channels.contains_key(&key) {
-            if let Err(e) = self.open_channel(key) {
-                let _ = e;
-                self.fail(token, SendError::Unreachable);
+        if let Some(channel) = self.channels.get(&key) {
+            // The supervisor gave up on this channel; don't queue behind a
+            // dead connection. (DATA traffic fails over before reaching
+            // here; explicit sends fail fast until a probe restores it.)
+            if channel.phase == Phase::Dropped {
+                self.fail(token, SendError::RetryBudgetExhausted);
                 return;
             }
+        } else if let Err(e) = self.open_channel(key) {
+            let _ = e;
+            self.fail(token, SendError::Unreachable);
+            return;
         }
         let now = self.net.sim().now();
         let channel = self.channels.get_mut(&key).expect("channel just ensured");
@@ -387,7 +574,7 @@ impl NetworkComponent {
             notify: token,
         });
         channel.last_activity = now;
-        if channel.established {
+        if channel.established() {
             self.drain_channel(key);
         }
     }
@@ -444,11 +631,14 @@ impl NetworkComponent {
             if front.written == front.bytes.len() {
                 let done = channel.pending.pop_front().expect("front exists");
                 msgs_out += 1;
-                if let Some(t) = done.notify {
-                    // Notified once the transport acknowledges delivery
-                    // of the frame's last byte.
-                    channel.awaiting_ack.push_back((channel.written_total, t));
-                }
+                // Retained until the transport acknowledges the frame's
+                // last byte: notifications fire then, and supervision can
+                // requeue the frame if the connection dies first.
+                channel.awaiting_ack.push_back(AckFrame {
+                    end: channel.written_total,
+                    bytes: done.bytes,
+                    notify: done.notify,
+                });
             } else {
                 break; // transport buffer full; resume on Writable
             }
@@ -473,10 +663,12 @@ impl NetworkComponent {
         };
         let delivered = conn.acked_bytes();
         let mut done = Vec::new();
-        while let Some(&(end, token)) = channel.awaiting_ack.front() {
-            if end <= delivered {
-                channel.awaiting_ack.pop_front();
-                done.push(token);
+        while let Some(front) = channel.awaiting_ack.front() {
+            if front.end <= delivered {
+                let frame = channel.awaiting_ack.pop_front().expect("front exists");
+                if let Some(t) = frame.notify {
+                    done.push(t);
+                }
             } else {
                 break;
             }
@@ -488,12 +680,31 @@ impl NetworkComponent {
 
     // --- inbound --------------------------------------------------------
 
-    fn handle_event(&mut self, event: NetEvent) {
+    fn handle_event(&mut self, ctx: &mut ComponentContext, event: NetEvent) {
         match event {
             NetEvent::Connected(id) => {
                 if let Some(&key) = self.conn_index.get(&id) {
                     if let Some(channel) = self.channels.get_mut(&key) {
-                        channel.established = true;
+                        let prev = channel.phase;
+                        channel.phase = Phase::Established;
+                        match prev {
+                            Phase::Reconnecting { attempts } => {
+                                self.stats.lock().reconnects += 1;
+                                self.emit_status(
+                                    key,
+                                    ConnStatus::ConnectionRestored { attempts },
+                                );
+                            }
+                            Phase::Dropped => {
+                                // A post-budget probe got through.
+                                self.stats.lock().reconnects += 1;
+                                self.emit_status(
+                                    key,
+                                    ConnStatus::ConnectionRestored { attempts: 0 },
+                                );
+                            }
+                            Phase::Connecting | Phase::Established => {}
+                        }
                     }
                     self.drain_channel(key);
                 }
@@ -510,7 +721,10 @@ impl NetworkComponent {
                     },
                 };
                 let mut state = ChannelState::new();
-                state.established = true;
+                state.phase = Phase::Established;
+                // The dialling side supervises; if this channel dies we
+                // fall back to failing its queued replies.
+                state.originated = false;
                 state.last_activity = self.net.sim().now();
                 self.conn_index.insert(conn.id(), key);
                 state.conn = Some(conn);
@@ -551,18 +765,9 @@ impl NetworkComponent {
             }
             NetEvent::Closed(id, _reason) => {
                 if let Some(key) = self.conn_index.remove(&id) {
-                    if let Some(mut channel) = self.channels.remove(&key) {
-                        // At-most-once: queued and unacknowledged messages
-                        // are lost; notify requesters.
-                        for frame in channel.pending.drain(..) {
-                            if let Some(t) = frame.notify {
-                                self.fail(Some(t), SendError::ChannelClosed);
-                            }
-                        }
-                        for (_, t) in channel.awaiting_ack.drain(..) {
-                            self.fail(Some(t), SendError::ChannelClosed);
-                        }
+                    if self.channels.contains_key(&key) {
                         self.stats.lock().channels_closed += 1;
+                        self.on_channel_down(ctx, key);
                     }
                 }
             }
@@ -635,15 +840,165 @@ impl NetworkComponent {
         }
     }
 
+    // --- supervision ----------------------------------------------------
+
+    /// Reacts to an unexpected connection loss on a known channel: either
+    /// supervises (requeue + backoff redial) or, when supervision is off or
+    /// the channel was accepted rather than dialled, fails everything
+    /// (legacy at-most-once behaviour).
+    fn on_channel_down(&mut self, ctx: &mut ComponentContext, key: ChannelKey) {
+        let supervised = self.cfg.reconnect.is_some()
+            && self.channels.get(&key).is_some_and(|c| c.originated);
+        if !supervised {
+            if let Some(mut channel) = self.channels.remove(&key) {
+                // At-most-once: queued and unacknowledged messages are
+                // lost; notify requesters.
+                for frame in channel.pending.drain(..) {
+                    if let Some(t) = frame.notify {
+                        self.fail(Some(t), SendError::ChannelClosed);
+                    }
+                }
+                for frame in channel.awaiting_ack.drain(..) {
+                    if let Some(t) = frame.notify {
+                        self.fail(Some(t), SendError::ChannelClosed);
+                    }
+                }
+            }
+            return;
+        }
+        let rc = self.cfg.reconnect.clone().expect("supervised implies config");
+        let channel = self.channels.get_mut(&key).expect("supervised implies entry");
+        channel.conn = None;
+        // At-least-once: requeue unacknowledged frames *ahead* of pending
+        // ones (they are older), rewinding write progress for the fresh
+        // connection. Exactly-once stays at the session layer.
+        for frame in channel.pending.iter_mut() {
+            frame.written = 0;
+        }
+        while let Some(acked) = channel.awaiting_ack.pop_back() {
+            channel.pending.push_front(OutFrame {
+                bytes: acked.bytes,
+                written: 0,
+                notify: acked.notify,
+            });
+        }
+        channel.written_total = 0;
+        match channel.phase {
+            Phase::Dropped => {
+                // A probe redial failed; keep probing.
+                self.schedule_probe(ctx, key, &rc);
+            }
+            Phase::Reconnecting { attempts } if attempts >= rc.max_retries => {
+                // Budget exhausted: fail queued frames, report, keep the
+                // entry so failover sees the dropped state and probes can
+                // restore it.
+                channel.phase = Phase::Dropped;
+                let failed: Vec<Option<NotifyToken>> = channel
+                    .pending
+                    .drain(..)
+                    .map(|f| f.notify)
+                    .collect();
+                for notify in failed {
+                    if let Some(t) = notify {
+                        self.fail(Some(t), SendError::RetryBudgetExhausted);
+                    }
+                }
+                self.stats.lock().channels_dropped += 1;
+                self.emit_status(key, ConnStatus::ConnectionDropped);
+                self.schedule_probe(ctx, key, &rc);
+            }
+            phase => {
+                let attempts = match phase {
+                    Phase::Reconnecting { attempts } => attempts + 1,
+                    _ => 1,
+                };
+                if matches!(phase, Phase::Connecting | Phase::Established) {
+                    self.emit_status(key, ConnStatus::ConnectionLost);
+                }
+                if let Some(channel) = self.channels.get_mut(&key) {
+                    channel.phase = Phase::Reconnecting { attempts };
+                }
+                let delay = rc.backoff(attempts, &mut self.jitter_rng);
+                let timer = ctx.schedule_once(delay);
+                self.retry_timers.insert(timer, key);
+            }
+        }
+    }
+
+    fn schedule_probe(&mut self, ctx: &mut ComponentContext, key: ChannelKey, rc: &ReconnectConfig) {
+        if let Some(interval) = rc.probe_interval {
+            let timer = ctx.schedule_once(interval);
+            self.retry_timers.insert(timer, key);
+        }
+    }
+
+    /// Dials the channel again (retry-timer and probe-timer handler).
+    fn redial(&mut self, ctx: &mut ComponentContext, key: ChannelKey) {
+        match self.channels.get(&key) {
+            // Channel torn down, or a concurrent path already restored it.
+            Some(c) if c.conn.is_none() => {}
+            _ => return,
+        }
+        let events = self
+            .self_events
+            .clone()
+            .expect("NetworkComponent used before create_network() wiring");
+        let handler = Arc::new(ConnForwarder { events });
+        let node = self.cfg.addr.node();
+        self.stats.lock().reconnect_attempts += 1;
+        let conn = match key.transport {
+            Transport::Tcp => TcpConn::connect(
+                &self.net,
+                node,
+                key.remote,
+                self.cfg.tcp.clone(),
+                handler,
+            )
+            .map(Connection::Tcp),
+            Transport::Udt => UdtConn::connect(
+                &self.net,
+                node,
+                key.remote,
+                self.cfg.udt.clone(),
+                handler,
+            )
+            .map(Connection::Udt),
+            _ => unreachable!("stream channels are TCP or UDT"),
+        };
+        match conn {
+            Ok(conn) => {
+                self.conn_index.insert(conn.id(), key);
+                if let Some(channel) = self.channels.get_mut(&key) {
+                    channel.conn = Some(conn);
+                }
+                // Establishment (or the next failure) arrives as a
+                // Connected/Closed event.
+            }
+            Err(_) => {
+                // Local dial failure (port space exhausted): treat it like
+                // a failed attempt so the backoff/budget machinery applies.
+                self.on_channel_down(ctx, key);
+            }
+        }
+    }
+
     fn sweep_idle_channels(&mut self, now: kmsg_netsim::time::SimTime) {
         let Some(idle) = self.cfg.idle_timeout else {
             return;
         };
+        // Idle eligibility requires a fully drained channel: nothing
+        // pending *and* nothing awaiting transport acknowledgement —
+        // tearing down a channel with unacked frames would lose them. Only
+        // established channels are swept; reconnecting ones own retry
+        // timers that must stay valid.
         let expired: Vec<ChannelKey> = self
             .channels
             .iter()
             .filter(|(_, c)| {
-                c.pending.is_empty() && now.duration_since(c.last_activity) >= idle
+                c.phase == Phase::Established
+                    && c.pending.is_empty()
+                    && c.awaiting_ack.is_empty()
+                    && now.duration_since(c.last_activity) >= idle
             })
             .map(|(k, _)| *k)
             .collect();
@@ -669,15 +1024,19 @@ impl ComponentDefinition for NetworkComponent {
 
     fn handle_control(&mut self, ctx: &mut ComponentContext, event: ControlEvent) {
         if event == ControlEvent::Start && self.cfg.idle_timeout.is_some() {
-            ctx.schedule_periodic(
+            self.idle_timer = Some(ctx.schedule_periodic(
                 std::time::Duration::from_secs(1),
                 std::time::Duration::from_secs(1),
-            );
+            ));
         }
     }
 
-    fn on_timeout(&mut self, ctx: &mut ComponentContext, _id: TimeoutId) {
-        self.sweep_idle_channels(ctx.now());
+    fn on_timeout(&mut self, ctx: &mut ComponentContext, id: TimeoutId) {
+        if let Some(key) = self.retry_timers.remove(&id) {
+            self.redial(ctx, key);
+        } else if self.idle_timer == Some(id) {
+            self.sweep_idle_channels(ctx.now());
+        }
     }
 }
 
@@ -691,8 +1050,8 @@ impl Provide<NetworkPort> for NetworkComponent {
 }
 
 impl HandleSelf<NetEvent> for NetworkComponent {
-    fn handle_self(&mut self, _ctx: &mut ComponentContext, event: NetEvent) {
-        self.handle_event(event);
+    fn handle_self(&mut self, ctx: &mut ComponentContext, event: NetEvent) {
+        self.handle_event(ctx, event);
     }
 }
 

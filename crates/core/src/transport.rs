@@ -43,6 +43,17 @@ impl Transport {
         matches!(self, Transport::Tcp | Transport::Udt | Transport::Data)
     }
 
+    /// Stable snake_case label for telemetry output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Transport::Udp => "udp",
+            Transport::Tcp => "tcp",
+            Transport::Udt => "udt",
+            Transport::Data => "data",
+        }
+    }
+
     /// Compact wire encoding.
     #[must_use]
     pub fn to_byte(self) -> u8 {

@@ -39,6 +39,9 @@ pub fn connect_vnode<P, C>(
         Some(Arc::new(move |ind: &NetIndication| match ind {
             NetIndication::Msg(msg) => msg.header().destination().vnode() == Some(vnode),
             NetIndication::NotifyResp(token, _) => token.vnode == Some(vnode),
+            // Channel status concerns the shared physical channel, not any
+            // one vnode; the default receiver handles it.
+            NetIndication::Status(_) => false,
         })),
     );
 }
@@ -60,6 +63,7 @@ pub fn connect_default<P, C>(
         Some(Arc::new(|ind: &NetIndication| match ind {
             NetIndication::Msg(msg) => msg.header().destination().vnode().is_none(),
             NetIndication::NotifyResp(token, _) => token.vnode.is_none(),
+            NetIndication::Status(_) => true,
         })),
     );
 }

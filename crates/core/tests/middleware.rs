@@ -20,6 +20,7 @@ struct Harness {
     commands: SelfPort<NetRequest>,
     received: Vec<NetMessage>,
     notifies: Vec<(NotifyToken, DeliveryStatus)>,
+    statuses: Vec<ChannelStatus>,
 }
 
 impl Harness {
@@ -29,6 +30,7 @@ impl Harness {
             commands: SelfPort::new(),
             received: Vec::new(),
             notifies: Vec::new(),
+            statuses: Vec::new(),
         }
     }
 }
@@ -47,6 +49,7 @@ impl Require<NetworkPort> for Harness {
         match ev {
             NetIndication::Msg(m) => self.received.push(m),
             NetIndication::NotifyResp(t, s) => self.notifies.push((t, s)),
+            NetIndication::Status(s) => self.statuses.push(s),
         }
     }
 }
@@ -94,8 +97,12 @@ fn world(link: LinkConfig, n_nodes: usize) -> (World, Vec<NodeId>) {
 }
 
 fn stack(w: &World, node: NodeId, port: u16) -> Stack {
-    let addr = NetAddress::new(node, port);
-    let network = create_network(&w.system, &w.net, NetworkConfig::new(addr)).expect("bind");
+    stack_cfg(w, NetworkConfig::new(NetAddress::new(node, port)))
+}
+
+fn stack_cfg(w: &World, cfg: NetworkConfig) -> Stack {
+    let addr = cfg.addr;
+    let network = create_network(&w.system, &w.net, cfg).expect("bind");
     let stats = network.on_definition(|n| n.stats());
     let app = w.system.create(Harness::new);
     w.system.connect::<NetworkPort, _, _>(&network, &app);
@@ -529,7 +536,10 @@ fn short_outage_is_survived_by_tcp_retransmission() {
 #[test]
 fn permanent_outage_fails_notifies_at_most_once() {
     let (w, nodes) = world(default_link(), 2);
-    let a = stack(&w, nodes[0], 7000);
+    // Supervision off: this pins the legacy at-most-once contract.
+    let mut cfg = NetworkConfig::new(NetAddress::new(nodes[0], 7000));
+    cfg.reconnect = None;
+    let a = stack_cfg(&w, cfg);
     let b = stack(&w, nodes[1], 7000);
     a.send.push(NetRequest::NotifyReq(
         NotifyToken::new(1),
@@ -776,6 +786,207 @@ fn vnode_scoped_notify_routing() {
         v2.on_definition(|h| h.notifies.is_empty()),
         "other vnodes must not see it"
     );
+}
+
+/// Channel supervision: a multi-second outage kills the TCP channel, the
+/// supervisor redials with backoff, and every queued message — including
+/// frames that were in flight when the connection died — is delivered
+/// after the heal (at-least-once within the retry budget).
+#[test]
+fn supervision_reconnects_and_redelivers_after_outage() {
+    let (w, nodes) = world(default_link(), 2);
+    let mut cfg = NetworkConfig::new(NetAddress::new(nodes[0], 7000));
+    // Impatient TCP so the channel death is observable within the outage.
+    cfg.tcp.min_rto = Duration::from_millis(100);
+    cfg.tcp.max_rto = Duration::from_millis(400);
+    cfg.tcp.max_consecutive_timeouts = 2;
+    cfg.tcp.syn_retries = 1;
+    cfg.reconnect = Some(ReconnectConfig {
+        max_retries: 30,
+        base_backoff: Duration::from_millis(100),
+        max_backoff: Duration::from_millis(400),
+        probe_interval: Some(Duration::from_secs(2)),
+    });
+    let a = stack_cfg(&w, cfg);
+    let b = stack(&w, nodes[1], 7000);
+    a.send.push(NetRequest::NotifyReq(
+        NotifyToken::new(1),
+        NetMessage::new(a.addr, b.addr, Transport::Tcp, 1u64),
+    ));
+    w.sim.run_for(Duration::from_millis(500));
+    assert_eq!(b.app.on_definition(|h| h.received.len()), 1);
+    // Cut both directions for four seconds.
+    let links: Vec<_> = [(nodes[0], nodes[1]), (nodes[1], nodes[0])]
+        .iter()
+        .map(|&(x, y)| w.net.route(x, y).expect("route")[0])
+        .collect();
+    for &l in &links {
+        w.net.link(l).set_up(false);
+    }
+    for i in 2..=6u64 {
+        a.send.push(NetRequest::NotifyReq(
+            NotifyToken::new(i),
+            NetMessage::new(a.addr, b.addr, Transport::Tcp, i),
+        ));
+    }
+    w.sim.run_for(Duration::from_secs(4));
+    let statuses = a.app.on_definition(|h| h.statuses.clone());
+    assert!(
+        statuses
+            .iter()
+            .any(|s| s.status == ConnStatus::ConnectionLost && s.transport == Transport::Tcp),
+        "the outage must surface as ConnectionLost, got {statuses:?}"
+    );
+    for &l in &links {
+        w.net.link(l).set_up(true);
+    }
+    w.sim.run_for(Duration::from_secs(15));
+    let statuses = a.app.on_definition(|h| h.statuses.clone());
+    assert!(
+        statuses.iter().any(|s| matches!(
+            s.status,
+            ConnStatus::ConnectionRestored { attempts } if attempts >= 1
+        )),
+        "the heal must surface as ConnectionRestored, got {statuses:?}"
+    );
+    // At-least-once: everything queued during the outage arrives.
+    let got: Vec<u64> = b.app.on_definition(|h| {
+        h.received
+            .iter()
+            .map(|m| m.try_deserialise::<u64, u64>().expect("u64"))
+            .collect()
+    });
+    for i in 1..=6u64 {
+        assert!(got.contains(&i), "message {i} must survive the outage, got {got:?}");
+    }
+    let notifies = a.app.on_definition(|h| h.notifies.clone());
+    assert!(
+        notifies.iter().all(|(_, s)| *s == DeliveryStatus::Sent),
+        "no send may fail within the retry budget, got {notifies:?}"
+    );
+    let stats = a.stats.lock();
+    assert!(stats.reconnect_attempts >= 1);
+    assert!(stats.reconnects >= 1, "supervision must re-establish the channel");
+    assert_eq!(stats.channels_dropped, 0, "budget must not be exhausted");
+}
+
+/// Regression: the idle sweeper must not tear down a channel that still
+/// has frames awaiting transport acknowledgement — the quiet period while
+/// TCP retransmits into an outage is not "idle", and closing there would
+/// lose the frames.
+#[test]
+fn idle_sweep_spares_channels_with_unacked_frames() {
+    let (w, nodes) = world(default_link(), 2);
+    let mut cfg = NetworkConfig::new(NetAddress::new(nodes[0], 7000));
+    cfg.idle_timeout = Some(Duration::from_secs(2));
+    let a = stack_cfg(&w, cfg);
+    let b = stack(&w, nodes[1], 7000);
+    a.send.push(NetRequest::Msg(NetMessage::new(a.addr, b.addr, Transport::Tcp, 0u64)));
+    w.sim.run_for(Duration::from_millis(500));
+    // Cut the data direction only: the next frame is written to the
+    // transport but can never be acknowledged.
+    let ab = w.net.route(nodes[0], nodes[1]).expect("route")[0];
+    w.net.link(ab).set_up(false);
+    a.send.push(NetRequest::NotifyReq(
+        NotifyToken::new(7),
+        NetMessage::new(a.addr, b.addr, Transport::Tcp, 1u64),
+    ));
+    // Well past the idle timeout; TCP keeps retransmitting underneath.
+    w.sim.run_for(Duration::from_secs(6));
+    assert_eq!(
+        a.stats.lock().channels_closed,
+        0,
+        "a channel with unacked frames is not idle"
+    );
+    w.net.link(ab).set_up(true);
+    w.sim.run_for(Duration::from_secs(5));
+    assert_eq!(b.app.on_definition(|h| h.received.len()), 2);
+    let notifies = a.app.on_definition(|h| h.notifies.clone());
+    assert!(
+        notifies.iter().any(|(t, s)| t.id == 7 && *s == DeliveryStatus::Sent),
+        "the retransmitted frame must eventually confirm, got {notifies:?}"
+    );
+}
+
+/// Graceful degradation: when the UDT channel exhausts its reconnect
+/// budget mid-outage while the (more patient) TCP channel survives, new
+/// DATA traffic fails over to TCP.
+#[test]
+fn data_fails_over_to_surviving_transport() {
+    let (w, nodes) = world(default_link(), 2);
+    let mut cfg = NetworkConfig::new(NetAddress::new(nodes[0], 7000));
+    // DATA resolves to UDT by default; UDT gives up fast and has a tiny
+    // retry budget, while TCP (default 15 consecutive timeouts) rides out
+    // the whole outage.
+    cfg.data_fallback = Some(Transport::Udt);
+    cfg.udt.exp_timeout = Duration::from_millis(100);
+    cfg.udt.max_expirations = 3;
+    cfg.reconnect = Some(ReconnectConfig {
+        max_retries: 1,
+        base_backoff: Duration::from_millis(100),
+        max_backoff: Duration::from_millis(200),
+        probe_interval: None,
+    });
+    let a = stack_cfg(&w, cfg);
+    let b = stack(&w, nodes[1], 7000);
+    // Establish both stream channels.
+    a.send.push(NetRequest::Msg(NetMessage::with_header(
+        NetHeader::Data(DataHeader::new(a.addr, b.addr)),
+        0u64,
+    )));
+    a.send.push(NetRequest::Msg(NetMessage::new(a.addr, b.addr, Transport::Tcp, 100u64)));
+    w.sim.run_for(Duration::from_secs(1));
+    assert_eq!(b.app.on_definition(|h| h.received.len()), 2);
+    let links: Vec<_> = [(nodes[0], nodes[1]), (nodes[1], nodes[0])]
+        .iter()
+        .map(|&(x, y)| w.net.route(x, y).expect("route")[0])
+        .collect();
+    for &l in &links {
+        w.net.link(l).set_up(false);
+    }
+    // In-flight data makes UDT's expiration timer fire: the channel dies,
+    // one redial fails (handshake gives up after ~3 s), budget exhausted.
+    a.send.push(NetRequest::Msg(NetMessage::with_header(
+        NetHeader::Data(DataHeader::new(a.addr, b.addr)),
+        1u64,
+    )));
+    w.sim.run_for(Duration::from_secs(8));
+    let statuses = a.app.on_definition(|h| h.statuses.clone());
+    assert!(
+        statuses
+            .iter()
+            .any(|s| s.status == ConnStatus::ConnectionDropped && s.transport == Transport::Udt),
+        "UDT must exhaust its budget, got {statuses:?}"
+    );
+    // New DATA traffic now reroutes to the surviving TCP channel.
+    for i in 2..=4u64 {
+        a.send.push(NetRequest::Msg(NetMessage::with_header(
+            NetHeader::Data(DataHeader::new(a.addr, b.addr)),
+            i,
+        )));
+    }
+    for &l in &links {
+        w.net.link(l).set_up(true);
+    }
+    w.sim.run_for(Duration::from_secs(10));
+    assert!(a.stats.lock().failovers >= 3, "DATA sends must fail over");
+    let got: Vec<(u64, Transport)> = b.app.on_definition(|h| {
+        h.received
+            .iter()
+            .map(|m| {
+                (
+                    m.try_deserialise::<u64, u64>().expect("u64"),
+                    m.header().protocol(),
+                )
+            })
+            .collect()
+    });
+    for i in 2..=4u64 {
+        assert!(
+            got.iter().any(|&(v, t)| v == i && t == Transport::Tcp),
+            "message {i} must arrive over TCP, got {got:?}"
+        );
+    }
 }
 
 /// Garbage on the wire must never take the middleware down — it is

@@ -36,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod faults;
 pub mod iface;
 pub mod link;
 pub mod network;
@@ -52,9 +53,10 @@ pub mod udt;
 pub mod wheel;
 
 pub use engine::{EventTarget, Sim};
+pub use faults::{FaultAction, FaultController, FaultEvent, FaultPlan};
 pub use reference::ReferenceSim;
 pub use iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvents};
-pub use link::{DropReason, LinkConfig, LinkId, PolicerConfig};
+pub use link::{DropReason, GeConfig, LinkConfig, LinkId, PolicerConfig};
 pub use network::{BindError, Network, NetworkStats, PacketSink};
 pub use packet::{Endpoint, NodeId, WireProtocol};
 pub use time::SimTime;

@@ -40,6 +40,50 @@ impl PolicerConfig {
     }
 }
 
+/// Gilbert–Elliott two-state burst-loss model.
+///
+/// The link alternates between a *good* and a *bad* state; each packet first
+/// advances the state machine (good→bad with `p_enter_bad`, bad→good with
+/// `p_exit_bad`), then is lost with the loss probability of the resulting
+/// state. Unlike the independent `random_loss`, this produces the correlated
+/// loss bursts that WAN paths exhibit under transient congestion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeConfig {
+    /// Per-packet probability of transitioning good → bad.
+    pub p_enter_bad: f64,
+    /// Per-packet probability of transitioning bad → good.
+    pub p_exit_bad: f64,
+    /// Loss probability while in the good state (usually ~0).
+    pub loss_good: f64,
+    /// Loss probability while in the bad state (usually high).
+    pub loss_bad: f64,
+}
+
+impl GeConfig {
+    /// A typical bursty-loss episode: rare entry into a sticky bad state
+    /// that loses half its packets.
+    #[must_use]
+    pub const fn bursty() -> Self {
+        GeConfig {
+            p_enter_bad: 0.01,
+            p_exit_bad: 0.25,
+            loss_good: 0.0,
+            loss_bad: 0.5,
+        }
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("p_enter_bad", self.p_enter_bad),
+            ("p_exit_bad", self.p_exit_bad),
+            ("loss_good", self.loss_good),
+            ("loss_bad", self.loss_bad),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} out of [0, 1]: {p}");
+        }
+    }
+}
+
 /// Configuration of a directed link.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkConfig {
@@ -57,6 +101,9 @@ pub struct LinkConfig {
     pub jitter: Duration,
     /// Optional policer applied to UDP-family packets only.
     pub udp_policer: Option<PolicerConfig>,
+    /// Optional Gilbert–Elliott burst-loss model, applied in addition to
+    /// (and independently of) `random_loss`.
+    pub burst_loss: Option<GeConfig>,
 }
 
 impl LinkConfig {
@@ -74,6 +121,7 @@ impl LinkConfig {
             random_loss: 0.0,
             jitter: Duration::ZERO,
             udp_policer: None,
+            burst_loss: None,
         }
     }
 
@@ -109,11 +157,40 @@ impl LinkConfig {
         self.udp_policer = Some(cfg);
         self
     }
+
+    /// Installs a Gilbert–Elliott burst-loss model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn burst_loss(mut self, cfg: GeConfig) -> Self {
+        cfg.validate();
+        self.burst_loss = Some(cfg);
+        self
+    }
 }
 
 /// Identifies a link within a [`Network`](crate::network::Network).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// The raw index of this link — stable for telemetry labelling.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a `LinkId` from [`LinkId::index`] — for scripting fault
+    /// plans against a known topology. The caller is responsible for the
+    /// index referring to a link that exists in the target
+    /// [`Network`](crate::network::Network).
+    #[must_use]
+    pub const fn from_index(index: u32) -> LinkId {
+        LinkId(index)
+    }
+}
 
 /// Why a link refused a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -126,6 +203,11 @@ pub enum DropReason {
     Policed,
     /// The link is administratively down (outage injection).
     LinkDown,
+    /// The link was severed (carrier loss) while the packet was in flight
+    /// or serialized in the queue.
+    Severed,
+    /// Lost in the bad state of the Gilbert–Elliott burst model.
+    BurstLoss,
 }
 
 impl DropReason {
@@ -137,8 +219,20 @@ impl DropReason {
             DropReason::RandomLoss => "random_loss",
             DropReason::Policed => "policed",
             DropReason::LinkDown => "link_down",
+            DropReason::Severed => "severed",
+            DropReason::BurstLoss => "burst_loss",
         }
     }
+
+    /// All reasons, in a stable order — used to export per-reason counters.
+    pub const ALL: [DropReason; 6] = [
+        DropReason::QueueOverflow,
+        DropReason::RandomLoss,
+        DropReason::Policed,
+        DropReason::LinkDown,
+        DropReason::Severed,
+        DropReason::BurstLoss,
+    ];
 }
 
 /// Outcome of offering a packet to a link.
@@ -186,6 +280,25 @@ pub struct LinkStats {
     pub dropped_policer: u64,
     /// Packets dropped while the link was down.
     pub dropped_down: u64,
+    /// Packets killed in flight (or in the queue backlog) by a sever.
+    pub dropped_severed: u64,
+    /// Packets lost in the Gilbert–Elliott bad state.
+    pub dropped_burst: u64,
+}
+
+impl LinkStats {
+    /// The counter for a given drop reason.
+    #[must_use]
+    pub fn dropped(&self, reason: DropReason) -> u64 {
+        match reason {
+            DropReason::QueueOverflow => self.dropped_queue,
+            DropReason::RandomLoss => self.dropped_loss,
+            DropReason::Policed => self.dropped_policer,
+            DropReason::LinkDown => self.dropped_down,
+            DropReason::Severed => self.dropped_severed,
+            DropReason::BurstLoss => self.dropped_burst,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -196,6 +309,13 @@ struct LinkInner {
     policer: Option<TokenBucket>,
     rng: RngStream,
     stats: LinkStats,
+    /// Gilbert–Elliott state: `true` while in the bad (bursty-loss) state.
+    ge_bad: bool,
+    /// Bumped on every [`Link::sever`]; packets in flight carry the epoch
+    /// they were transmitted under and die on arrival if it changed.
+    epoch: u64,
+    /// Transient extra propagation delay (latency-spike injection).
+    extra_delay: Duration,
 }
 
 /// A directed link. Construct through
@@ -220,6 +340,9 @@ impl Link {
                 policer,
                 rng,
                 stats: LinkStats::default(),
+                ge_bad: false,
+                epoch: 0,
+                extra_delay: Duration::ZERO,
             }),
         }
     }
@@ -266,10 +389,34 @@ impl Link {
             }
         }
 
+        if let Some(ge) = inner.cfg.burst_loss {
+            // Advance the two-state machine, then roll against the loss
+            // probability of the state we landed in.
+            let flip: f64 = inner.rng.gen();
+            if inner.ge_bad {
+                if flip < ge.p_exit_bad {
+                    inner.ge_bad = false;
+                }
+            } else if flip < ge.p_enter_bad {
+                inner.ge_bad = true;
+            }
+            let loss = if inner.ge_bad { ge.loss_bad } else { ge.loss_good };
+            if loss > 0.0 {
+                let roll: f64 = inner.rng.gen();
+                if roll < loss {
+                    // Like random loss, a burst-lost packet occupies the wire.
+                    let tx = Duration::from_secs_f64(size / inner.cfg.bandwidth);
+                    inner.busy_until = inner.busy_until.max(now) + tx;
+                    inner.stats.dropped_burst += 1;
+                    return Verdict::Dropped(DropReason::BurstLoss);
+                }
+            }
+        }
+
         let tx = Duration::from_secs_f64(size / inner.cfg.bandwidth);
         let start = inner.busy_until.max(now);
         inner.busy_until = start + tx;
-        let mut arrival = inner.busy_until + inner.cfg.delay;
+        let mut arrival = inner.busy_until + inner.cfg.delay + inner.extra_delay;
         if !inner.cfg.jitter.is_zero() {
             let j: f64 = inner.rng.gen();
             arrival += Duration::from_secs_f64(j * inner.cfg.jitter.as_secs_f64());
@@ -302,6 +449,55 @@ impl Link {
     #[must_use]
     pub fn is_up(&self) -> bool {
         self.inner.lock().up
+    }
+
+    /// Severs the link: carrier loss rather than an unplugged uplink.
+    ///
+    /// In addition to taking the link down like `set_up(false)`, the
+    /// serialized backlog is cleared and packets already in flight are
+    /// killed: the sever epoch is bumped, and the network drops any packet
+    /// stamped with an older epoch on arrival, counting it under
+    /// [`DropReason::Severed`]. Restore with `set_up(true)`.
+    pub fn sever(&self) {
+        let mut inner = self.inner.lock();
+        inner.up = false;
+        inner.busy_until = SimTime::ZERO;
+        inner.epoch += 1;
+    }
+
+    /// The current sever epoch (see [`Link::sever`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+
+    /// Counts a packet killed in flight by a sever (called by the network
+    /// on arrival when the epoch check fails).
+    pub(crate) fn note_severed(&self) {
+        self.inner.lock().stats.dropped_severed += 1;
+    }
+
+    /// Installs or clears a transient extra propagation delay (latency
+    /// spike). Applies to packets transmitted from now on.
+    pub fn set_extra_delay(&self, extra: Duration) {
+        self.inner.lock().extra_delay = extra;
+    }
+
+    /// Installs or clears the Gilbert–Elliott burst-loss model at runtime.
+    /// Clearing also resets the state machine to the good state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn set_burst_loss(&self, cfg: Option<GeConfig>) {
+        if let Some(ge) = cfg {
+            ge.validate();
+        }
+        let mut inner = self.inner.lock();
+        inner.cfg.burst_loss = cfg;
+        if cfg.is_none() {
+            inner.ge_bad = false;
+        }
     }
 
     /// Current queue backlog in bytes (bytes not yet serialized).
@@ -475,5 +671,74 @@ mod tests {
         assert_eq!(link.stats().dropped_down, 5);
         link.set_up(true);
         assert!(matches!(link.transmit(&sim, 100, false), Verdict::DeliverAt(_)));
+    }
+
+    #[test]
+    fn sever_clears_backlog_and_bumps_epoch() {
+        let (sim, link) = mk(LinkConfig::new(1e6, Duration::ZERO).queue_capacity(10_000));
+        assert!(matches!(link.transmit(&sim, 5000, false), Verdict::DeliverAt(_)));
+        assert!(link.backlog_bytes(sim.now()) > 0.0);
+        let before = link.epoch();
+        link.sever();
+        assert!(!link.is_up());
+        assert_eq!(link.epoch(), before + 1);
+        assert_eq!(link.backlog_bytes(sim.now()), 0.0);
+        link.set_up(true);
+        // Backlog was discarded: the next packet serializes immediately.
+        match link.transmit(&sim, 1000, false) {
+            Verdict::DeliverAt(t) => assert_eq!(t, SimTime::from_millis(1)),
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn burst_loss_drops_in_bursts() {
+        let (sim, link) = mk(LinkConfig::new(1e12, Duration::ZERO)
+            .queue_capacity(usize::MAX / 2)
+            .burst_loss(GeConfig {
+                p_enter_bad: 0.02,
+                p_exit_bad: 0.2,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            }));
+        let mut outcomes = Vec::new();
+        for _ in 0..20_000 {
+            outcomes.push(matches!(
+                link.transmit(&sim, 100, false),
+                Verdict::Dropped(DropReason::BurstLoss)
+            ));
+        }
+        let dropped = outcomes.iter().filter(|&&d| d).count();
+        // Steady-state bad occupancy = p_enter / (p_enter + p_exit) ≈ 9%.
+        assert!((1000..3000).contains(&dropped), "dropped={dropped}");
+        // Correlation: a drop is followed by another drop far more often
+        // than the unconditional rate (bursts, not independent loss).
+        let pairs = outcomes.windows(2).filter(|w| w[0]).count();
+        let both = outcomes.windows(2).filter(|w| w[0] && w[1]).count();
+        let cond = both as f64 / pairs as f64;
+        let uncond = dropped as f64 / outcomes.len() as f64;
+        assert!(cond > 2.0 * uncond, "cond={cond:.3} uncond={uncond:.3}");
+        assert_eq!(link.stats().dropped_burst as usize, dropped);
+        // Clearing resets to the good state.
+        link.set_burst_loss(None);
+        assert!(matches!(link.transmit(&sim, 100, false), Verdict::DeliverAt(_)));
+    }
+
+    #[test]
+    fn extra_delay_shifts_arrivals() {
+        let (sim, link) = mk(LinkConfig::new(1e6, Duration::from_millis(10)));
+        link.set_extra_delay(Duration::from_millis(40));
+        match link.transmit(&sim, 1000, false) {
+            Verdict::DeliverAt(t) => assert_eq!(t, SimTime::from_millis(51)),
+            v => panic!("{v:?}"),
+        }
+        link.set_extra_delay(Duration::ZERO);
+        sim.run_until(SimTime::from_secs(1));
+        match link.transmit(&sim, 1000, false) {
+            Verdict::DeliverAt(t) => {
+                assert_eq!(t, SimTime::from_secs(1) + Duration::from_millis(11));
+            }
+            v => panic!("{v:?}"),
+        }
     }
 }

@@ -17,7 +17,7 @@ use kmsg_telemetry::EventKind;
 use parking_lot::Mutex;
 
 use crate::engine::Sim;
-use crate::link::{Link, LinkConfig, LinkId, Verdict};
+use crate::link::{DropReason, Link, LinkConfig, LinkId, Verdict};
 use crate::packet::{Endpoint, NodeId, Packet, WireProtocol};
 use crate::time::SimTime;
 use crate::trace::{PacketEvent, PacketRecord, PacketTracer};
@@ -288,11 +288,14 @@ impl Network {
 
     /// Transmits `pkt` over hop `idx` of its route, scheduling the next hop
     /// event at the link's computed arrival time.
-    fn forward(&self, pkt: Packet, links: &Arc<Vec<LinkId>>, idx: usize) {
+    fn forward(&self, mut pkt: Packet, links: &Arc<Vec<LinkId>>, idx: usize) {
         let link_id = links[idx];
         let link = self.inner.lock().links[link_id.0 as usize].clone();
         match link.transmit(&self.sim, pkt.wire_size, pkt.protocol.is_udp_family()) {
             Verdict::DeliverAt(at) => {
+                // Stamp the sever epoch: if the link is severed before the
+                // arrival event fires, the packet dies at the far end.
+                pkt.sever_epoch = link.epoch();
                 let rec = self.sim.recorder();
                 if rec.is_enabled() {
                     let now = self.sim.now();
@@ -326,6 +329,28 @@ impl Network {
     /// Entry point for scheduled packet-hop events: continue along the route
     /// at `idx`, or deliver once past its end.
     pub(crate) fn packet_hop(&self, pkt: Packet, links: &Arc<Vec<LinkId>>, idx: usize) {
+        // Arrival check for the hop just crossed: a sever while the packet
+        // was in flight kills it here (carrier loss, not an unplugged
+        // uplink — see `Link::sever`).
+        if idx >= 1 {
+            if let Some(&link_id) = links.get(idx - 1) {
+                let link = self.inner.lock().links[link_id.0 as usize].clone();
+                if link.epoch() != pkt.sever_epoch {
+                    link.note_severed();
+                    self.inner.lock().stats.dropped_link += 1;
+                    self.sim.recorder().record(
+                        self.sim.now().as_nanos(),
+                        EventKind::LinkDrop {
+                            link: u64::from(link_id.0),
+                            reason: DropReason::Severed.label(),
+                            wire_size: pkt.wire_size as u64,
+                        },
+                    );
+                    self.trace(&pkt, PacketEvent::Dropped(DropReason::Severed));
+                    return;
+                }
+            }
+        }
         if idx < links.len() {
             self.forward(pkt, links, idx);
         } else {
@@ -487,6 +512,38 @@ mod tests {
         assert_ne!(p1, p2);
         assert_eq!(p1, 49152);
         assert_eq!(p3, 49152);
+    }
+
+    #[test]
+    fn set_up_false_still_delivers_in_flight_but_sever_kills_them() {
+        // Contrast of the two outage flavours: `set_up(false)` is an
+        // unplugged uplink (in-flight packets arrive), `sever()` is carrier
+        // loss (they die with DropReason::Severed).
+        for (severed, expect_delivered) in [(false, 1), (true, 0)] {
+            let (sim, net, a, b) = two_nodes();
+            let sink = Arc::new(Counter(AtomicUsize::new(0)));
+            net.bind(b, WireProtocol::Udp, 80, sink.clone()).unwrap();
+            net.send_packet(udp_packet(Endpoint::new(a, 1000), Endpoint::new(b, 80)));
+            // Cut the a→b link while the packet is mid-flight (5 ms delay).
+            sim.schedule_in(Duration::from_millis(2), {
+                let net = net.clone();
+                move |_sim| {
+                    let link = net.route(NodeId(0), NodeId(1)).unwrap()[0];
+                    if severed {
+                        net.link(link).sever();
+                    } else {
+                        net.link(link).set_up(false);
+                    }
+                }
+            });
+            sim.run_until(SimTime::from_secs(1));
+            assert_eq!(sink.0.load(Ordering::SeqCst), expect_delivered, "severed={severed}");
+            if severed {
+                let link = net.route(NodeId(0), NodeId(1)).unwrap()[0];
+                assert_eq!(net.link(link).stats().dropped_severed, 1);
+                assert_eq!(net.stats().dropped_link, 1);
+            }
+        }
     }
 
     #[test]

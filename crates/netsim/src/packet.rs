@@ -110,6 +110,10 @@ pub struct Packet {
     pub protocol: WireProtocol,
     /// Total size on the wire, including header overhead.
     pub wire_size: usize,
+    /// Sever epoch of the link the packet is currently crossing, stamped at
+    /// transmit time. If the link's epoch has advanced by arrival (the link
+    /// was [severed](crate::link::Link::sever) mid-flight), the packet dies.
+    pub sever_epoch: u64,
     /// Transport payload.
     pub body: PacketBody,
 }
@@ -130,6 +134,7 @@ impl Packet {
             dst,
             protocol,
             wire_size: payload_len + HEADER_OVERHEAD,
+            sever_epoch: 0,
             body,
         }
     }

@@ -43,6 +43,11 @@ pub struct TcpConfig {
     pub max_rto: Duration,
     /// SYN retransmission attempts before the connect fails.
     pub syn_retries: u32,
+    /// Consecutive retransmission timeouts on an established connection
+    /// before the stack gives up and closes with `CloseReason::Timeout`
+    /// (Linux `tcp_retries2` analog). Lower values make channel death — and
+    /// thus middleware supervision — observable within short outages.
+    pub max_consecutive_timeouts: u32,
     /// Delayed-ACK timer.
     pub delack_timeout: Duration,
     /// Fire `on_writable` on every acknowledgement that frees send-buffer
@@ -61,6 +66,7 @@ impl Default for TcpConfig {
             min_rto: Duration::from_millis(200),
             max_rto: Duration::from_secs(60),
             syn_retries: 6,
+            max_consecutive_timeouts: 15,
             delack_timeout: Duration::from_millis(40),
             ack_progress_events: true,
         }
@@ -396,7 +402,7 @@ impl TcpShared {
                     return;
                 }
                 inner.syn_retries_left -= 1;
-            } else if inner.consecutive_timeouts > 15 {
+            } else if inner.consecutive_timeouts > inner.cfg.max_consecutive_timeouts {
                 // The peer is unreachable; give up like a real stack would.
                 inner.state = State::Closed;
                 if !inner.closed_notified {

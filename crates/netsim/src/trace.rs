@@ -94,6 +94,10 @@ pub struct TraceCounts {
     pub dropped_policer: u64,
     /// Packets dropped by downed links.
     pub dropped_down: u64,
+    /// Packets killed in flight by a sever.
+    pub dropped_severed: u64,
+    /// Packets lost in a Gilbert–Elliott burst.
+    pub dropped_burst: u64,
     /// Packets without a route or sink.
     pub unroutable: u64,
 }
@@ -133,6 +137,8 @@ impl PacketTracer for RingTracer {
                 PacketEvent::Dropped(DropReason::RandomLoss) => counts.dropped_loss += 1,
                 PacketEvent::Dropped(DropReason::Policed) => counts.dropped_policer += 1,
                 PacketEvent::Dropped(DropReason::LinkDown) => counts.dropped_down += 1,
+                PacketEvent::Dropped(DropReason::Severed) => counts.dropped_severed += 1,
+                PacketEvent::Dropped(DropReason::BurstLoss) => counts.dropped_burst += 1,
                 PacketEvent::NoRoute | PacketEvent::NoSink => counts.unroutable += 1,
             }
         }

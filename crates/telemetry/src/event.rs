@@ -140,6 +140,28 @@ pub enum EventKind {
         /// Whether the chosen action was the greedy one.
         greedy: bool,
     },
+    /// A scripted fault injection or heal applied to a link (one event per
+    /// affected link, in plan order — chaos runs replay byte-for-byte).
+    Fault {
+        /// Action label (`"sever"`, `"link_down"`, `"link_up"`,
+        /// `"burst_on"`, `"burst_off"`, `"latency_spike"`,
+        /// `"latency_clear"`).
+        action: &'static str,
+        /// Link id the action was applied to.
+        link: u64,
+    },
+    /// Middleware channel status transition (supervision observed an
+    /// outage, a successful reconnect, or gave up).
+    ConnStatus {
+        /// Remote peer encoded as `node_index << 16 | port`.
+        peer: u64,
+        /// Transport label of the supervised channel.
+        transport: &'static str,
+        /// `"lost"`, `"restored"` or `"dropped"`.
+        status: &'static str,
+        /// Reconnect attempts so far (meaningful for `"restored"`).
+        attempts: u64,
+    },
     /// Generic instrumentation marker for tests and harnesses.
     Mark {
         /// Caller-defined marker id.
@@ -166,6 +188,8 @@ impl EventKind {
             EventKind::SchedulerQueue { .. } => "scheduler_queue",
             EventKind::ComponentExec { .. } => "component_exec",
             EventKind::Decision { .. } => "decision",
+            EventKind::Fault { .. } => "fault",
+            EventKind::ConnStatus { .. } => "conn_status",
             EventKind::Mark { .. } => "mark",
         }
     }

@@ -176,6 +176,21 @@ pub fn push_event_json(out: &mut String, ev: &Event) {
             field_f64(out, "epsilon", *epsilon);
             field_bool(out, "greedy", *greedy);
         }
+        EventKind::Fault { action, link } => {
+            field_str(out, "action", action);
+            field_u64(out, "link", *link);
+        }
+        EventKind::ConnStatus {
+            peer,
+            transport,
+            status,
+            attempts,
+        } => {
+            field_u64(out, "peer", *peer);
+            field_str(out, "transport", transport);
+            field_str(out, "status", status);
+            field_u64(out, "attempts", *attempts);
+        }
         EventKind::Mark { id, value } => {
             field_u64(out, "id", *id);
             field_u64(out, "value", *value);

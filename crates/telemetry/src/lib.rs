@@ -197,6 +197,19 @@ impl Recorder {
         self.inner.ring.lock().expect("telemetry ring poisoned").buf.clear();
     }
 
+    /// Resizes the flight-recorder ring. Long chaos runs overflow the
+    /// default capacity and evict the early supervision events; raise it
+    /// before the run when the whole stream matters. Shrinking evicts the
+    /// oldest retained events immediately.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut ring = self.inner.ring.lock().expect("telemetry ring poisoned");
+        ring.cap = capacity.max(1);
+        while ring.buf.len() > ring.cap {
+            ring.buf.pop_front();
+            self.inner.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Registers (or fetches) the counter `name`.
     #[must_use]
     pub fn counter(&self, name: &str) -> Counter {
