@@ -15,7 +15,7 @@ use kmsg_netsim::{FaultController, FaultPlan, Recorder, RecorderTracer};
 
 use crate::dataset::Dataset;
 use crate::ping::{PingStats, Pinger, PingerConfig, Ponger};
-use crate::scenario::{two_host_world, Setup};
+use crate::scenario::{two_host_world, Setup, TwoHostWorld};
 use crate::transfer::{
     FileReceiver, FileSender, ReceiverConfig, ReceiverSample, SenderConfig,
 };
@@ -158,6 +158,9 @@ pub struct ExperimentResult {
     /// Duplicate chunks the receiver deduplicated (at-least-once
     /// redelivery during supervised reconnects surfaces here).
     pub duplicates: u64,
+    /// Fresh chunks that arrived below the highest offset seen so far
+    /// (out-of-order arrivals; zero on a calm single-channel run).
+    pub out_of_order: u64,
     /// Link-level fault actions the scripted plan applied.
     pub faults_applied: u64,
     /// Simulation events executed (diagnostics).
@@ -177,6 +180,23 @@ pub struct ExperimentResult {
 #[must_use]
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     let world = two_host_world(cfg.seed, &cfg.setup);
+    run_in_world(&world, cfg)
+}
+
+/// Runs one experiment inside an already-built world.
+///
+/// [`run_experiment`] builds the standard two-host world from
+/// [`ExperimentConfig::setup`]; this entry point lets callers (notably the
+/// scenario fuzzer) supply arbitrary topologies — relay chains, asymmetric
+/// links — as long as `world.host_a` can reach `world.host_b` and back.
+/// `cfg.setup` is ignored.
+///
+/// # Panics
+///
+/// Panics if the network stacks fail to bind (ports are fixed and worlds
+/// are fresh, so this indicates a harness bug).
+#[must_use]
+pub fn run_in_world(world: &TwoHostWorld, cfg: &ExperimentConfig) -> ExperimentResult {
     if cfg.telemetry {
         if let Some(cap) = cfg.telemetry_capacity {
             world.sim.recorder().set_capacity(cap);
@@ -323,9 +343,10 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
 
     let sender_net = a_net_stats.lock().clone();
     let receiver_net = b_net_stats.lock().clone();
-    let duplicates = transfer_parts
-        .as_ref()
-        .map_or(0, |(_, _, rx_stats, _)| rx_stats.lock().duplicates);
+    let (duplicates, out_of_order) = transfer_parts.as_ref().map_or((0, 0), |(_, _, rx, _)| {
+        let stats = rx.lock();
+        (stats.duplicates, stats.out_of_order)
+    });
     ExperimentResult {
         transfer_time,
         throughput,
@@ -336,6 +357,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         sender_net,
         receiver_net,
         duplicates,
+        out_of_order,
         faults_applied: fault_ctl.map_or(0, |c| c.applied()),
         events: world.sim.events_executed(),
         recorder: world.sim.recorder().clone(),

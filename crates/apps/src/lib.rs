@@ -5,13 +5,15 @@
 //! timing-sensitive ping/pong control traffic ([`ping`]), deterministic
 //! synthetic datasets with controllable compressibility ([`dataset`]),
 //! sequential-disk models ([`disk`]), the calibrated EC2-like environments
-//! ([`scenario`]) and a one-call experiment harness ([`experiment`]).
+//! ([`scenario`]), a one-call experiment harness ([`experiment`]) and the
+//! seeded scenario generator behind the simulation fuzzer ([`fuzz`]).
 
 #![warn(missing_docs)]
 
 pub mod dataset;
 pub mod disk;
 pub mod experiment;
+pub mod fuzz;
 pub mod msgs;
 pub mod ping;
 pub mod scenario;
@@ -19,7 +21,12 @@ pub mod transfer;
 
 pub use dataset::{Dataset, DatasetKind, PAPER_CHUNK_SIZE, PAPER_DATASET_SIZE};
 pub use disk::{DiskModel, DISK_RATE, MEMORY_RATE};
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, PingSettings};
+pub use experiment::{
+    run_experiment, run_in_world, ExperimentConfig, ExperimentResult, PingSettings,
+};
+pub use fuzz::{
+    build_chain_world, run_scenario, ChainWorld, FaultKind, FaultSpec, FuzzRun, ScenarioSpec,
+};
 pub use msgs::{ChunkMsg, PingMsg, PongMsg};
 pub use ping::{PingStats, PingStatsHandle, Pinger, PingerConfig, Ponger};
 pub use scenario::{two_host_world, Setup, TwoHostWorld};

@@ -295,6 +295,10 @@ pub struct ReceiverStats {
     pub chunks: u64,
     /// Duplicate chunks (same offset seen twice).
     pub duplicates: u64,
+    /// Chunks that arrived below the highest offset seen so far without
+    /// being duplicates. Zero on a calm single-channel run (FIFO); DATA
+    /// runs and supervised reconnects legitimately reorder.
+    pub out_of_order: u64,
     /// Accumulated order-independent checksum.
     pub checksum: u64,
     /// Completion time: the last byte of the final round written to disk.
@@ -317,6 +321,7 @@ pub struct FileReceiver {
     cfg: ReceiverConfig,
     disk: Option<DiskModel>,
     seen_offsets: std::collections::HashSet<u64>,
+    max_offset_seen: Option<u64>,
     window_bytes: u64,
     window_tcp: u64,
     window_udt: u64,
@@ -342,6 +347,7 @@ impl FileReceiver {
             cfg,
             disk,
             seen_offsets: std::collections::HashSet::new(),
+            max_offset_seen: None,
             window_bytes: 0,
             window_tcp: 0,
             window_udt: 0,
@@ -420,6 +426,12 @@ impl Require<NetworkPort> for FileReceiver {
         if !self.seen_offsets.insert(chunk.offset) {
             stats.duplicates += 1;
             return;
+        }
+        // Offsets are sent in strictly increasing global order, so a fresh
+        // chunk below the running maximum arrived out of order.
+        match self.max_offset_seen {
+            Some(max) if chunk.offset < max => stats.out_of_order += 1,
+            _ => self.max_offset_seen = Some(self.max_offset_seen.unwrap_or(0).max(chunk.offset)),
         }
         stats.bytes_received += len as u64;
         stats.chunks += 1;

@@ -351,6 +351,7 @@ mod summary_tests {
             sender_net: MiddlewareStats::default(),
             receiver_net: MiddlewareStats::default(),
             duplicates: 0,
+            out_of_order: 0,
             faults_applied: 0,
             events: 0,
             recorder: kmsg_telemetry::Recorder::new(),

@@ -87,7 +87,7 @@ pub use msg::{
 };
 pub use net::{
     create_network, MiddlewareStats, NetworkComponent, NetworkConfig, ReconnectConfig,
-    StatsHandle,
+    StatsHandle, SupervisionSummary,
 };
 pub use ser::{Deserialiser, SerError, SerId, SerRegistry, Serialisable};
 pub use transport::Transport;
@@ -106,7 +106,7 @@ pub mod prelude {
     };
     pub use crate::net::{
         create_network, MiddlewareStats, NetworkComponent, NetworkConfig, ReconnectConfig,
-        StatsHandle,
+        StatsHandle, SupervisionSummary,
     };
     pub use crate::ser::{Deserialiser, SerError, SerId, SerRegistry, Serialisable};
     pub use crate::transport::Transport;

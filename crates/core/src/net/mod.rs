@@ -194,6 +194,51 @@ impl MiddlewareStats {
     pub fn send_failures_of(&self, kind: SendError) -> u64 {
         self.send_failures_by[kind.index()]
     }
+
+    /// The supervision counters bundled for invariant oracles (see
+    /// `kmsg-oracle`): how often channels were re-established, how many
+    /// redials that took, how many channels exhausted their budget, and
+    /// how many `DATA` frames failed over.
+    #[must_use]
+    pub fn supervision(&self) -> SupervisionSummary {
+        SupervisionSummary {
+            reconnect_attempts: self.reconnect_attempts,
+            reconnects: self.reconnects,
+            channels_dropped: self.channels_dropped,
+            failovers: self.failovers,
+        }
+    }
+}
+
+/// Supervision counters extracted from [`MiddlewareStats`].
+///
+/// `episodes()` is the number of at-least-once redelivery opportunities —
+/// the bound the delivery oracle multiplies by its per-episode duplicate
+/// window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisionSummary {
+    /// Redial attempts made by channel supervision.
+    pub reconnect_attempts: u64,
+    /// Channels successfully re-established.
+    pub reconnects: u64,
+    /// Channels whose reconnect budget was exhausted.
+    pub channels_dropped: u64,
+    /// `DATA` messages rerouted to the surviving transport.
+    pub failovers: u64,
+}
+
+impl SupervisionSummary {
+    /// Supervision episodes that may each re-deliver in-flight frames.
+    #[must_use]
+    pub fn episodes(&self) -> u64 {
+        self.reconnects + self.channels_dropped + self.failovers
+    }
+
+    /// Whether the run saw any supervision activity at all.
+    #[must_use]
+    pub fn calm(&self) -> bool {
+        self.episodes() == 0 && self.reconnect_attempts == 0
+    }
 }
 
 /// A cloneable handle to a component's live statistics.

@@ -239,6 +239,13 @@ impl<V: ActionValue, R: Rng> Sarsa<V, R> {
         self.steps
     }
 
+    /// Read-only view of the eligibility traces, laid out
+    /// `state * num_actions + action` (diagnostics and property tests).
+    #[must_use]
+    pub fn trace_values(&self) -> &[f64] {
+        &self.traces
+    }
+
     /// Current exploration probability.
     #[must_use]
     pub fn epsilon(&self) -> f64 {

@@ -54,6 +54,14 @@ pub struct TcpConfig {
     /// space (not just when a blocked writer can resume). Lets middleware
     /// track delivery progress for acked-based notifications.
     pub ack_progress_events: bool,
+    /// Test-only fault: skip the multiplicative decrease (and its
+    /// `fast_recovery` telemetry event) when receiver-reported holes signal
+    /// a fresh loss episode, while still fast-retransmitting the holes.
+    /// This breaks Reno legality — fast retransmits appear without any
+    /// recorded loss signal — and exists solely so `kmsg-oracle` tests can
+    /// prove the TCP oracle catches it. Never enable outside tests.
+    #[doc(hidden)]
+    pub buggy_no_fast_recovery: bool,
 }
 
 impl Default for TcpConfig {
@@ -69,6 +77,7 @@ impl Default for TcpConfig {
             max_consecutive_timeouts: 15,
             delack_timeout: Duration::from_millis(40),
             ack_progress_events: true,
+            buggy_no_fast_recovery: false,
         }
     }
 }
@@ -479,6 +488,12 @@ impl TcpShared {
                     inner.snd_una = seg.ack.max(inner.snd_una);
                     inner.sent.retain(|seq, _| *seq >= inner.snd_una);
                     inner.peer_wnd = seg.wnd;
+                    // A completed handshake breaks any SYN timeout streak;
+                    // without this reset the first post-handshake RTO would
+                    // report `consecutive > 1` against a freshly measured
+                    // RTO, which violates the doubling invariant the
+                    // oracle checks.
+                    inner.consecutive_timeouts = 0;
                     disarm_rto(inner);
                     if !inner.connected_notified {
                         inner.connected_notified = true;
@@ -520,6 +535,9 @@ fn complete_handshake_active(
     inner.sent.clear();
     inner.rcv_nxt = seg.seq + 1;
     inner.peer_wnd = seg.wnd;
+    // SYN timeout streaks do not carry into the established connection
+    // (same reasoning as the SynRcvd transition).
+    inner.consecutive_timeouts = 0;
     inner.ts_recent = Some(seg.ts);
     if let Some(echo) = seg.ts_echo {
         update_rtt(inner, now, echo);
@@ -720,7 +738,7 @@ fn note_holes(inner: &mut TcpInner, holes: &[(u64, u64)], now: SimTime) {
             }
         }
     }
-    if fresh_loss && !inner.in_recovery {
+    if fresh_loss && !inner.in_recovery && !inner.cfg.buggy_no_fast_recovery {
         inner.in_recovery = true;
         inner.recover = inner.snd_nxt;
         let flight = inner.flight() as f64;

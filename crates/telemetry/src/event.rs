@@ -162,6 +162,16 @@ pub enum EventKind {
         /// Reconnect attempts so far (meaningful for `"restored"`).
         attempts: u64,
     },
+    /// Synthetic truncation marker: the ring evicted events it can no
+    /// longer show (currently emitted by [`crate::Recorder::set_capacity`]
+    /// when shrinking mid-run). Oracles that need a complete stream —
+    /// e.g. packet conservation — treat any trace containing this marker
+    /// (or a nonzero [`crate::Recorder::evicted`] count) as truncated and
+    /// skip instead of false-failing.
+    Overflow {
+        /// Events evicted by the truncation this marker stands in for.
+        evicted: u64,
+    },
     /// Generic instrumentation marker for tests and harnesses.
     Mark {
         /// Caller-defined marker id.
@@ -190,6 +200,7 @@ impl EventKind {
             EventKind::Decision { .. } => "decision",
             EventKind::Fault { .. } => "fault",
             EventKind::ConnStatus { .. } => "conn_status",
+            EventKind::Overflow { .. } => "overflow",
             EventKind::Mark { .. } => "mark",
         }
     }

@@ -191,6 +191,9 @@ pub fn push_event_json(out: &mut String, ev: &Event) {
             field_str(out, "status", status);
             field_u64(out, "attempts", *attempts);
         }
+        EventKind::Overflow { evicted } => {
+            field_u64(out, "evicted", *evicted);
+        }
         EventKind::Mark { id, value } => {
             field_u64(out, "id", *id);
             field_u64(out, "value", *value);

@@ -174,6 +174,28 @@ impl Recorder {
             .collect()
     }
 
+    /// Visits every retained event in order, oldest first, without
+    /// cloning the ring.
+    ///
+    /// This is the typed iteration path for trace consumers (the invariant
+    /// oracles in `kmsg-oracle`): they match on [`EventKind`] directly
+    /// instead of re-parsing the JSONL export.
+    pub fn for_each_event<F: FnMut(&Event)>(&self, mut f: F) {
+        let ring = self.inner.ring.lock().expect("telemetry ring poisoned");
+        for ev in &ring.buf {
+            f(ev);
+        }
+    }
+
+    /// Runs `f` over the retained events as contiguous slices (oldest
+    /// first) and returns its result. Zero-copy companion to
+    /// [`Recorder::events`] for consumers that want to fold the stream.
+    pub fn with_events<R, F: FnOnce(&[Event], &[Event]) -> R>(&self, f: F) -> R {
+        let ring = self.inner.ring.lock().expect("telemetry ring poisoned");
+        let (a, b) = ring.buf.as_slices();
+        f(a, b)
+    }
+
     /// Number of events currently retained.
     #[must_use]
     pub fn event_count(&self) -> usize {
@@ -199,15 +221,32 @@ impl Recorder {
 
     /// Resizes the flight-recorder ring. Long chaos runs overflow the
     /// default capacity and evict the early supervision events; raise it
-    /// before the run when the whole stream matters. Shrinking evicts the
-    /// oldest retained events immediately.
+    /// before the run when the whole stream matters.
+    ///
+    /// Shrinking evicts the oldest retained events immediately and leaves
+    /// a synthetic [`EventKind::Overflow`] marker in their place, stamped
+    /// with the oldest surviving timestamp, so trace consumers can tell a
+    /// truncated stream from a complete one.
     pub fn set_capacity(&self, capacity: usize) {
         let mut ring = self.inner.ring.lock().expect("telemetry ring poisoned");
         ring.cap = capacity.max(1);
-        while ring.buf.len() > ring.cap {
-            ring.buf.pop_front();
-            self.inner.evicted.fetch_add(1, Ordering::Relaxed);
+        if ring.buf.len() <= ring.cap {
+            return;
         }
+        // One extra eviction buys the slot the marker itself occupies, so
+        // the ring still honours the new capacity afterwards.
+        let evict = ring.buf.len() - ring.cap + 1;
+        for _ in 0..evict {
+            ring.buf.pop_front();
+        }
+        self.inner.evicted.fetch_add(evict as u64, Ordering::Relaxed);
+        let time_ns = ring.buf.front().map_or(0, |e| e.time_ns);
+        ring.buf.push_front(Event {
+            time_ns,
+            kind: EventKind::Overflow {
+                evicted: evict as u64,
+            },
+        });
     }
 
     /// Registers (or fetches) the counter `name`.
@@ -414,6 +453,47 @@ mod tests {
             })
             .collect();
         assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn shrink_leaves_overflow_marker() {
+        let rec = Recorder::with_capacity(8);
+        rec.enable();
+        for i in 0..6u64 {
+            rec.record(i * 10, EventKind::Mark { id: i, value: i });
+        }
+        rec.set_capacity(3);
+        let evs = rec.events();
+        assert_eq!(evs.len(), 3);
+        match evs[0].kind {
+            EventKind::Overflow { evicted } => assert_eq!(evicted, 4),
+            ref k => panic!("expected overflow marker first, got {k:?}"),
+        }
+        // Marker is stamped with the oldest surviving timestamp so the
+        // stream stays time-ordered.
+        assert_eq!(evs[0].time_ns, evs[1].time_ns);
+        assert_eq!(rec.evicted(), 4);
+        // Growing (or an equal-size resize) never truncates, so no marker.
+        let rec2 = Recorder::with_capacity(4);
+        rec2.enable();
+        rec2.record(1, EventKind::Mark { id: 0, value: 0 });
+        rec2.set_capacity(16);
+        assert_eq!(rec2.event_count(), 1);
+        assert_eq!(rec2.evicted(), 0);
+    }
+
+    #[test]
+    fn typed_iteration_matches_events() {
+        let rec = Recorder::with_capacity(4);
+        rec.enable();
+        for i in 0..6u64 {
+            rec.record(i, EventKind::Mark { id: i, value: i });
+        }
+        let mut seen = Vec::new();
+        rec.for_each_event(|e| seen.push(e.clone()));
+        assert_eq!(seen, rec.events());
+        let total = rec.with_events(|a, b| a.len() + b.len());
+        assert_eq!(total, rec.event_count());
     }
 
     #[test]
