@@ -7,8 +7,12 @@
 //! and the mean number of episodes until first reaching the peak state.
 //!
 //! ```text
-//! cargo run --release -p kmsg-bench --bin ablation_learners
+//! cargo run --release -p kmsg-bench --bin ablation_learners [-- --jobs N]
 //! ```
+//!
+//! The 6 variants × 16 seeds form 96 independent learner worlds, sharded
+//! across `--jobs` workers with submission-order reduction — the table is
+//! byte-identical at any job count.
 
 use kmsg_learning::prelude::*;
 use rand::SeedableRng;
@@ -72,6 +76,7 @@ enum ValueBackend {
 }
 
 fn main() {
+    let args = kmsg_bench::BenchArgs::parse();
     kmsg_telemetry::log_info!(
         "Ablation C — learner variants on the synthetic quadratic environment \
          (peak at -0.8, {EPISODES} episodes, {SEEDS} seeds)\n"
@@ -122,12 +127,20 @@ fn main() {
             ValueBackend::Model,
         ),
     ];
-    for (name, cfg, backend) in variants {
+    // One world per (variant, seed) cell; the reduction walks cells in
+    // submission order, so per-variant aggregates are order-independent.
+    let worlds: Vec<(usize, u64)> = (0..variants.len())
+        .flat_map(|v| (0..SEEDS).map(move |seed| (v, seed)))
+        .collect();
+    let outcomes = kmsg_bench::sweep::map(args.jobs, worlds, |_idx, (v, seed)| {
+        let (_, cfg, backend) = variants[v];
+        run(cfg, backend, -0.8, seed)
+    });
+    for (v, (name, _, _)) in variants.iter().enumerate() {
         let mut err_sum = 0.0;
         let mut hit_sum = 0usize;
         let mut hits = 0usize;
-        for seed in 0..SEEDS {
-            let out = run(cfg, backend, -0.8, seed);
+        for out in &outcomes[v * SEEDS as usize..(v + 1) * SEEDS as usize] {
             err_sum += out.final_err;
             if let Some(ep) = out.episodes_to_peak {
                 hit_sum += ep;

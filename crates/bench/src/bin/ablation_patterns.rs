@@ -4,8 +4,12 @@
 //! and (b) the worst prefix deviation from the target.
 //!
 //! ```text
-//! cargo run --release -p kmsg-bench --bin ablation_patterns
+//! cargo run --release -p kmsg-bench --bin ablation_patterns [-- --jobs N]
 //! ```
+//!
+//! Each target ratio is an independent cell, sharded across `--jobs`
+//! workers; rows print in submission order so the table is byte-identical
+//! at any job count.
 
 use kmsg_core::data::{
     build_pattern, max_prefix_deviation, p_pattern_rest, p_plus_one_pattern_rest, PatternKind,
@@ -14,6 +18,7 @@ use kmsg_core::data::{
 use kmsg_netsim::rng::SeedSource;
 
 fn main() {
+    let args = kmsg_bench::BenchArgs::parse();
     let seeds = SeedSource::new(3);
     kmsg_telemetry::log_info!("Ablation B — pattern construction (deviation = worst prefix |achieved - target|)\n");
     kmsg_telemetry::log_info!(
@@ -21,7 +26,8 @@ fn main() {
         "target", "p", "q", "c(p)", "c(p+1)", "dev(p)", "dev(p+1)", "dev(min)", "dev(rand)"
     );
     kmsg_bench::rule(84);
-    for prob in [0.03, 0.1, 0.125, 0.2, 0.25, 1.0 / 3.0, 0.4, 0.45, 0.5] {
+    let probs = vec![0.03, 0.1, 0.125, 0.2, 0.25, 1.0 / 3.0, 0.4, 0.45, 0.5];
+    let rows = kmsg_bench::sweep::map(args.jobs, probs, |_idx, prob| {
         let ratio = Ratio::from_prob_udt(prob);
         let f = ratio.fraction(100);
         let dev = |kind| {
@@ -29,7 +35,8 @@ fn main() {
             max_prefix_deviation(&pat, prob)
         };
         // Probabilistic baseline measured over one pattern-length run,
-        // averaged over several seeds.
+        // averaged over several seeds (stateless named streams, so this
+        // cell is identical no matter which worker runs it).
         let pattern_len = (f.p + f.q) as usize;
         let mut rand_dev = 0.0;
         let reps = 32;
@@ -42,7 +49,7 @@ fn main() {
             rand_dev += max_prefix_deviation(&run, prob);
         }
         rand_dev /= f64::from(reps);
-        kmsg_telemetry::log_info!(
+        format!(
             "{:>7.3} {:>5} {:>5} | {:>6} {:>6} | {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
             prob,
             f.p,
@@ -53,7 +60,10 @@ fn main() {
             dev(PatternKind::PPlusOne),
             dev(PatternKind::MinimalRest),
             rand_dev,
-        );
+        )
+    });
+    for row in rows {
+        kmsg_telemetry::log_info!("{row}");
     }
     kmsg_telemetry::log_info!(
         "\nExpected shape: deterministic patterns dominate the probabilistic\n\

@@ -4,8 +4,11 @@
 //! buffers, so an undersized buffer caps throughput near `window / RTT`.
 //!
 //! ```text
-//! cargo run --release -p kmsg-bench --bin ablation_udt_buffers [--quick]
+//! cargo run --release -p kmsg-bench --bin ablation_udt_buffers [--quick] [--jobs N]
 //! ```
+//!
+//! Each buffer size is an independent simulated world, sharded across
+//! `--jobs` workers; the table is byte-identical at any job count.
 
 use kmsg_apps::{run_experiment, Dataset, ExperimentConfig, Setup};
 use kmsg_core::{NetworkConfig, Transport};
@@ -20,30 +23,37 @@ fn main() {
     );
     kmsg_telemetry::log_info!("{:>10} {:>14} {:>16}", "buffers", "window/RTT cap", "throughput");
     kmsg_bench::rule(44);
-    for buf_mb in [1usize, 2, 4, 8, 12, 32, 100] {
-        let buf = buf_mb * 1024 * 1024;
-        let setup = Setup::Eu2Au;
-        let cap = buf as f64 / setup.rtt().as_secs_f64();
-        let mut cfg = ExperimentConfig::transfer(setup, Transport::Udt, dataset, args.seed);
-        let mut net_cfg = NetworkConfig::new(kmsg_core::NetAddress::new(
-            kmsg_netsim::packet::NodeId::from_index(0),
-            0,
-        ));
-        net_cfg.udt = UdtConfig {
-            snd_buf: buf,
-            rcv_buf: buf,
-            ..UdtConfig::default()
-        };
-        cfg.net_template = Some(net_cfg);
-        let result = run_experiment(&cfg);
-        assert!(result.verified);
-        let thr = result.throughput.expect("completed");
-        kmsg_telemetry::log_info!(
-            "{:>7} MB {:>11.2} MB/s {:>13.2} MB/s",
-            buf_mb,
-            cap / 1e6,
-            thr / 1e6
-        );
+    let rows = kmsg_bench::sweep::map(
+        args.jobs,
+        vec![1usize, 2, 4, 8, 12, 32, 100],
+        |_idx, buf_mb| {
+            let buf = buf_mb * 1024 * 1024;
+            let setup = Setup::Eu2Au;
+            let cap = buf as f64 / setup.rtt().as_secs_f64();
+            let mut cfg = ExperimentConfig::transfer(setup, Transport::Udt, dataset, args.seed);
+            let mut net_cfg = NetworkConfig::new(kmsg_core::NetAddress::new(
+                kmsg_netsim::packet::NodeId::from_index(0),
+                0,
+            ));
+            net_cfg.udt = UdtConfig {
+                snd_buf: buf,
+                rcv_buf: buf,
+                ..UdtConfig::default()
+            };
+            cfg.net_template = Some(net_cfg);
+            let result = run_experiment(&cfg);
+            assert!(result.verified);
+            let thr = result.throughput.expect("completed");
+            format!(
+                "{:>7} MB {:>11.2} MB/s {:>13.2} MB/s",
+                buf_mb,
+                cap / 1e6,
+                thr / 1e6
+            )
+        },
+    );
+    for row in rows {
+        kmsg_telemetry::log_info!("{row}");
     }
     kmsg_telemetry::log_info!(
         "\nExpected shape: throughput grows with the buffer while window/RTT\n\

@@ -127,7 +127,13 @@ fn main() {
         args.seed
     );
 
-    let result = run_experiment(&chaos_config(size, args.seed));
+    // The run and its same-seed replay are independent worlds — execute
+    // them through the sweep runner (concurrently at `--jobs >= 2`).
+    let mut runs = kmsg_bench::sweep::map(args.jobs, vec![(), ()], |_idx, ()| {
+        run_experiment(&chaos_config(size, args.seed))
+    });
+    let replay = runs.pop().expect("two runs");
+    let result = runs.pop().expect("two runs");
     assert!(result.verified, "transfer must complete and verify after the heal");
     assert!(
         result.sender_net.reconnects >= 1,
@@ -135,7 +141,6 @@ fn main() {
     );
 
     // Determinism: the same seed must reproduce the exact event stream.
-    let replay = run_experiment(&chaos_config(size, args.seed));
     let jsonl = result.recorder.to_jsonl();
     assert!(
         jsonl == replay.recorder.to_jsonl(),

@@ -10,47 +10,17 @@
 //! summarised as min / p25 / median / p75 / max boxes.
 //!
 //! ```text
-//! cargo run --release -p kmsg-bench --bin fig1 [-- --quick]
+//! cargo run --release -p kmsg-bench --bin fig1 [-- --quick] [--jobs N]
 //! ```
 //!
 //! `--quick` shrinks the stream to CI scale (the box statistics get a
-//! little noisier but keep their shape).
+//! little noisier but keep their shape). `--jobs N` shards the 16 cells
+//! across worker threads; the printed table and `telemetry.json` are
+//! byte-identical to `--jobs 1` (each cell is an isolated world and the
+//! reduction is in submission order — see `kmsg_bench::sweep`).
 
-use kmsg_core::data::{
-    PatternKind, PatternSelection, ProtocolSelectionPolicy, RandomSelection, Ratio,
-};
-use kmsg_core::Transport;
+use kmsg_bench::fig1_core::{cells, run_cell, ENTRIES};
 use kmsg_netsim::rng::SeedSource;
-use kmsg_netsim::stats::Summary;
-
-const EPISODE_WINDOW: usize = 1600;
-const WIRE_WINDOW: usize = 16;
-const ENTRIES: usize = 160_000;
-
-/// Sliding-window signed ratios over a selection stream.
-fn windowed_ratios(stream: &[Transport], window: usize) -> Vec<f64> {
-    assert!(stream.len() > window);
-    let mut udt_in_window = stream[..window]
-        .iter()
-        .filter(|&&t| t == Transport::Udt)
-        .count();
-    let mut out = Vec::with_capacity(stream.len() - window);
-    out.push(2.0 * udt_in_window as f64 / window as f64 - 1.0);
-    for i in window..stream.len() {
-        if stream[i] == Transport::Udt {
-            udt_in_window += 1;
-        }
-        if stream[i - window] == Transport::Udt {
-            udt_in_window -= 1;
-        }
-        out.push(2.0 * udt_in_window as f64 / window as f64 - 1.0);
-    }
-    out
-}
-
-fn stream_of(policy: &mut dyn ProtocolSelectionPolicy, n: usize) -> Vec<Transport> {
-    (0..n).map(|_| policy.select()).collect()
-}
 
 fn main() {
     let args = kmsg_bench::BenchArgs::parse();
@@ -59,8 +29,6 @@ fn main() {
     // Summary gauges land in telemetry.json for the CI artifact.
     let rec = kmsg_telemetry::Recorder::new();
     rec.enable();
-    // The paper's x-axis: target ratios as the probability of UDT.
-    let targets = [(0.0, "0"), (0.03, "3/100"), (1.0 / 3.0, "1/3"), (0.8, "4/5")];
 
     kmsg_telemetry::log_info!("Figure 1 — observed selection ratio distributions");
     kmsg_telemetry::log_info!("(signed form: -1.0 = 100% TCP, +1.0 = 100% UDT)\n");
@@ -70,41 +38,20 @@ fn main() {
     );
     kmsg_bench::rule(96);
 
-    for &(prob, label) in &targets {
-        let ratio = Ratio::from_prob_udt(prob);
-        for (window, window_label) in [(EPISODE_WINDOW, "Episode"), (WIRE_WINDOW, "Wire")] {
-            for pattern in [true, false] {
-                let name = if pattern { "Pattern" } else { "Random" };
-                let mut policy: Box<dyn ProtocolSelectionPolicy> = if pattern {
-                    Box::new(PatternSelection::new(ratio, PatternKind::MinimalRest, 100))
-                } else {
-                    Box::new(RandomSelection::new(
-                        ratio,
-                        seeds.stream(&format!("fig1-{label}-{window_label}")),
-                    ))
-                };
-                let stream = stream_of(policy.as_mut(), entries + window);
-                let ratios = windowed_ratios(&stream, window);
-                let s = Summary::of(&ratios).expect("windowed ratio stream is non-empty");
-                let metric = format!("fig1/{label}/{window_label}/{name}");
-                rec.gauge(&format!("{metric}/median")).set(s.median);
-                rec.gauge(&format!("{metric}/mean")).set(s.mean);
-                rec.gauge(&format!("{metric}/iqr")).set(s.p75 - s.p25);
-                kmsg_telemetry::log_info!(
-                    "{:>7} {:>8} {:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-                    label,
-                    kmsg_bench::fmt_ratio(ratio.signed()),
-                    format!("{window_label}/{name}"),
-                    s.min,
-                    s.p25,
-                    s.median,
-                    s.p75,
-                    s.max,
-                    s.mean,
-                );
-            }
+    // Each cell is an independent world; compute in parallel, then print
+    // and record gauges in submission order so output never depends on
+    // thread scheduling.
+    let results = kmsg_bench::sweep::map(args.jobs, cells(), |_idx, cell| {
+        run_cell(&cell, seeds, entries)
+    });
+    for (i, r) in results.iter().enumerate() {
+        rec.gauge(&format!("{}/median", r.metric)).set(r.median);
+        rec.gauge(&format!("{}/mean", r.metric)).set(r.mean);
+        rec.gauge(&format!("{}/iqr", r.metric)).set(r.iqr);
+        kmsg_telemetry::log_info!("{}", r.row);
+        if (i + 1) % 4 == 0 {
+            kmsg_bench::rule(96);
         }
-        kmsg_bench::rule(96);
     }
     kmsg_telemetry::log_info!(
         "\nExpected shape (paper): Pattern boxes hug the target, especially for\n\

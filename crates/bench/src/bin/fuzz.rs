@@ -12,11 +12,15 @@
 //!
 //! ```text
 //! cargo run --release -p kmsg-bench --bin fuzz -- \
-//!     [--seeds A..B] [--budget-secs N] [--out DIR] [--selftest] \
-//!     [--replay failing_seed.json] [--quick] [--verbose]
+//!     [--seeds A..B] [--jobs N] [--budget-secs N] [--out DIR] \
+//!     [--selftest] [--replay failing_seed.json] [--quick] [--verbose]
 //! ```
 //!
 //! * `--seeds A..B` — half-open seed range to fuzz (default `0..200`).
+//! * `--jobs N` — worker threads sharding the seed range (default: all
+//!   cores). Output is byte-identical to `--jobs 1`: every world is
+//!   isolated and the first failing seed is resolved in submission
+//!   order (see `kmsg_bench::sweep`).
 //! * `--budget-secs N` — soft wall-clock budget: no new scenario starts
 //!   after it expires (already-started runs finish; default unlimited).
 //! * `--out DIR` — artifact directory (default `fuzz_artifacts`).
@@ -26,15 +30,17 @@
 //!   spec document or a `failing_seed.json`) instead of fuzzing.
 //! * `--quick` — shorthand for `--seeds 0..25`.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use kmsg_apps::fuzz::{oracle_config, run_scenario, FuzzRun, ScenarioSpec};
-use kmsg_oracle::{check_all, minimize, render_verdict, Json, Violation};
+use kmsg_apps::fuzz::ScenarioSpec;
+use kmsg_bench::fuzzer::{check_spec, sweep_seeds};
+use kmsg_oracle::{minimize, render_verdict, Json, Violation};
 
 /// Parsed command line.
 struct FuzzArgs {
     seed_from: u64,
     seed_to: u64,
+    jobs: usize,
     budget_secs: Option<u64>,
     out_dir: String,
     selftest: bool,
@@ -45,6 +51,7 @@ fn parse_args() -> FuzzArgs {
     let mut out = FuzzArgs {
         seed_from: 0,
         seed_to: 200,
+        jobs: kmsg_bench::sweep::default_jobs(),
         budget_secs: None,
         out_dir: "fuzz_artifacts".to_string(),
         selftest: false,
@@ -59,6 +66,12 @@ fn parse_args() -> FuzzArgs {
                 out.seed_from = a.parse().expect("--seeds lower bound");
                 out.seed_to = b.parse().expect("--seeds upper bound");
                 assert!(out.seed_to > out.seed_from, "--seeds range is empty");
+            }
+            "--jobs" => {
+                out.jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs takes a number");
             }
             "--budget-secs" => {
                 out.budget_secs = Some(
@@ -79,14 +92,6 @@ fn parse_args() -> FuzzArgs {
         }
     }
     out
-}
-
-/// Runs a spec and applies the full oracle suite to its trace.
-fn check_spec(spec: &ScenarioSpec) -> (FuzzRun, Vec<Violation>) {
-    let run = run_scenario(spec);
-    let events = run.result.recorder.events();
-    let violations = check_all(&events, &run.facts, &oracle_config(spec));
-    (run, violations)
 }
 
 /// Whether a spec still trips the rule that made the original run fail.
@@ -188,24 +193,22 @@ fn main() {
     }
 
     let started = Instant::now();
-    let mut ran = 0u64;
-    let mut clean = 0u64;
-    for seed in args.seed_from..args.seed_to {
-        if let Some(budget) = args.budget_secs {
-            if started.elapsed().as_secs() >= budget && ran > 0 {
-                kmsg_telemetry::log_info!(
-                    "budget of {budget}s exhausted after {ran} scenarios; stopping early"
-                );
-                break;
-            }
-        }
+    let deadline = args
+        .budget_secs
+        .map(|secs| started + Duration::from_secs(secs));
+    let outcome = sweep_seeds(args.seed_from, args.seed_to, args.jobs, deadline, |seed| {
         let spec = ScenarioSpec::generate(seed);
-        let (_, violations) = check_spec(&spec);
-        ran += 1;
-        if violations.is_empty() {
-            clean += 1;
-            continue;
-        }
+        let violations = check_spec(&spec).1;
+        (!violations.is_empty()).then_some((spec, violations))
+    });
+    if outcome.budget_hit {
+        kmsg_telemetry::log_info!(
+            "budget of {}s exhausted after {} scenarios; stopping early",
+            args.budget_secs.unwrap_or(0),
+            outcome.ran
+        );
+    }
+    if let Some((seed, (spec, violations))) = outcome.failure {
         kmsg_telemetry::log_info!(
             "seed {seed} VIOLATES {} invariant(s):\n{}",
             violations.len(),
@@ -215,9 +218,11 @@ fn main() {
         std::process::exit(1);
     }
     kmsg_telemetry::log_info!(
-        "fuzz: {clean}/{ran} scenarios oracle-clean in {:.1}s (seeds {}..{})",
+        "fuzz: {}/{} scenarios oracle-clean in {:.1}s (seeds {}..{})",
+        outcome.clean,
+        outcome.ran,
         started.elapsed().as_secs_f64(),
         args.seed_from,
-        args.seed_from + ran
+        args.seed_from + outcome.ran
     );
 }

@@ -4,7 +4,9 @@
 //! oracle), then one full-size transfer per (setup, transport) pair of
 //! interest, with simulated time, throughput and event counts.
 //!
-//! Emits everything machine-readable to `BENCH_engine.json`.
+//! Emits everything machine-readable to `BENCH_engine.json`, and a
+//! sweep-throughput section (fuzz-scenario worlds/sec at several `--jobs`
+//! levels through `kmsg_bench::sweep`) to `BENCH_sweep.json`.
 //!
 //! ```text
 //! cargo run --release -p kmsg-bench --bin timing_probe [--quick]
@@ -178,6 +180,74 @@ fn write_json(engine_events: u64, engines: &[EngineProbe], transfers: &[Transfer
     std::fs::write("BENCH_engine.json", out).expect("write BENCH_engine.json");
 }
 
+struct SweepProbe {
+    jobs: usize,
+    worlds: u64,
+    wall_secs: f64,
+    worlds_per_sec: f64,
+}
+
+/// Sweep throughput: the same batch of fuzz-scenario worlds executed
+/// through the sweep runner at increasing `--jobs` levels. Every level
+/// produces identical verdicts (asserted); only wall-clock time may move.
+fn sweep_probes(worlds: u64) -> Vec<SweepProbe> {
+    let mut levels = vec![1usize, 2, 4, kmsg_bench::sweep::default_jobs()];
+    levels.sort_unstable();
+    levels.dedup();
+    let mut out = Vec::new();
+    let mut reference: Option<Vec<usize>> = None;
+    for jobs in levels {
+        let wall = Instant::now();
+        let verdicts = kmsg_bench::fuzzer::sweep_seeds(0, worlds, jobs, None, |seed| {
+            let v = kmsg_bench::fuzzer::check_seed(seed);
+            (!v.is_empty()).then(|| v.len())
+        });
+        let wall_secs = wall.elapsed().as_secs_f64();
+        let summary = vec![
+            usize::try_from(verdicts.ran).expect("fits"),
+            usize::try_from(verdicts.clean).expect("fits"),
+        ];
+        match &reference {
+            None => reference = Some(summary),
+            Some(r) => assert_eq!(*r, summary, "sweep outcome must not depend on jobs"),
+        }
+        out.push(SweepProbe {
+            jobs,
+            worlds,
+            wall_secs,
+            worlds_per_sec: worlds as f64 / wall_secs,
+        });
+    }
+    out
+}
+
+fn write_sweep_json(probes: &[SweepProbe]) {
+    let base = probes
+        .first()
+        .map_or(f64::NAN, |p| p.worlds_per_sec);
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"sweep\",\n");
+    out.push_str("  \"world\": \"fuzz-scenario\",\n");
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        kmsg_bench::sweep::default_jobs()
+    ));
+    out.push_str("  \"levels\": [\n");
+    for (i, p) in probes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"jobs\": {}, \"worlds\": {}, \"wall_secs\": {:.6}, \"worlds_per_sec\": {:.2}, \"speedup_vs_jobs1\": {:.2}}}{}\n",
+            p.jobs,
+            p.worlds,
+            p.wall_secs,
+            p.worlds_per_sec,
+            p.worlds_per_sec / base,
+            if i + 1 < probes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_sweep.json", out).expect("write BENCH_sweep.json");
+}
+
 fn main() {
     let args = kmsg_bench::BenchArgs::parse();
     let engine_events: u64 = if args.quick { 200_000 } else { 1_000_000 };
@@ -260,6 +330,34 @@ fn main() {
 
     write_json(engine_events, &engines, &transfers);
 
+    // Sweep throughput: how fast the parallel runner turns over whole
+    // worlds. Wall-clock scaling tracks the machine's core count (a
+    // single-core container shows ~1.0x at every level — the byte-identity
+    // assertion still exercises the parallel path).
+    let sweep_worlds: u64 = if args.quick { 24 } else { 96 };
+    kmsg_telemetry::log_info!(
+        "\nSweep throughput probe ({sweep_worlds} fuzz-scenario worlds, \
+         {} cores available):\n",
+        kmsg_bench::sweep::default_jobs()
+    );
+    kmsg_telemetry::log_info!(
+        "{:<8} {:>10} {:>16} {:>10}",
+        "jobs", "wall", "worlds/sec", "speedup"
+    );
+    kmsg_bench::rule(48);
+    let sweeps = sweep_probes(sweep_worlds);
+    let base = sweeps.first().map_or(f64::NAN, |p| p.worlds_per_sec);
+    for p in &sweeps {
+        kmsg_telemetry::log_info!(
+            "{:<8} {:>8.3} s {:>16.2} {:>9.2}x",
+            p.jobs,
+            p.wall_secs,
+            p.worlds_per_sec,
+            p.worlds_per_sec / base
+        );
+    }
+    write_sweep_json(&sweeps);
+
     // Flight-recorder sample: one small mixed-transport transfer on the
     // lossy WAN path with telemetry enabled. The exported files contain
     // only sim-time-derived data (wall-clock rates stay in
@@ -276,7 +374,7 @@ fn main() {
         .write_jsonl("telemetry.jsonl")
         .expect("write telemetry.jsonl");
     kmsg_telemetry::log_info!(
-        "\nWrote BENCH_engine.json, telemetry.json, telemetry.jsonl \
+        "\nWrote BENCH_engine.json, BENCH_sweep.json, telemetry.json, telemetry.jsonl \
          ({} events recorded, {} retained)",
         r.recorder.recorded_total(),
         r.recorder.event_count()

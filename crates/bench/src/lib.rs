@@ -10,10 +10,17 @@
 //! * `--size-mb N` — dataset size in MiB (default: the paper's 395);
 //! * `--reps N` — maximum repetitions per data point (default 10);
 //! * `--seed N` — root experiment seed (default 1);
+//! * `--jobs N` — worker threads for sweep parallelism (default: all
+//!   cores; `--jobs 1` reproduces the sequential runner exactly — see
+//!   [`sweep`] for the byte-identity guarantee);
 //! * `--quick` — shorthand for a small dataset and few reps (CI-speed);
 //! * `--verbose` — raise the log level to `Debug` (extra diagnostics).
 
 #![warn(missing_docs)]
+
+pub mod fig1_core;
+pub mod fuzzer;
+pub mod sweep;
 
 use kmsg_netsim::stats::OnlineStats;
 
@@ -28,6 +35,9 @@ pub struct BenchArgs {
     pub min_reps: u32,
     /// Root seed.
     pub seed: u64,
+    /// Worker threads for sweeps (`--jobs N`; default = available cores,
+    /// `1` = fully sequential in the calling thread).
+    pub jobs: usize,
     /// Quick mode (CI-scale).
     pub quick: bool,
     /// Verbose mode: `--verbose` raises logging to `Debug`.
@@ -41,6 +51,7 @@ impl Default for BenchArgs {
             reps: 10,
             min_reps: 5,
             seed: 1,
+            jobs: sweep::default_jobs(),
             quick: false,
             verbose: false,
         }
@@ -79,6 +90,12 @@ impl BenchArgs {
                         .next()
                         .and_then(|s| s.parse().ok())
                         .expect("--seed takes a number");
+                }
+                "--jobs" => {
+                    out.jobs = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--jobs takes a number");
                 }
                 "--quick" => {
                     out.quick = true;

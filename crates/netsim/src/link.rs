@@ -438,6 +438,13 @@ impl Link {
         self.inner.lock().cfg.clone()
     }
 
+    /// The configured queue capacity in bytes, without cloning the whole
+    /// [`LinkConfig`] (the per-packet telemetry path reads only this field).
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.inner.lock().cfg.queue_capacity
+    }
+
     /// Injects or clears an outage: while down, every offered packet is
     /// dropped. Packets already serialized onto the wire still arrive
     /// (the failure is at the link entry, like an unplugged uplink).

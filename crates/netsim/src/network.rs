@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use kmsg_telemetry::EventKind;
@@ -65,6 +66,10 @@ struct NetInner {
 pub struct Network {
     sim: Sim,
     inner: Arc<Mutex<NetInner>>,
+    /// Mirrors `inner.tracer.is_some()` so the per-packet trace path can
+    /// skip the fabric lock entirely when no tracer is installed (the
+    /// common case outside debugging runs).
+    has_tracer: Arc<AtomicBool>,
 }
 
 impl fmt::Debug for Network {
@@ -116,6 +121,7 @@ impl Network {
                 tracer: None,
                 local_delay: std::time::Duration::from_micros(5),
             })),
+            has_tracer: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -230,9 +236,15 @@ impl Network {
     /// Installs a packet tracer observing every send, drop and delivery.
     pub fn set_tracer(&self, tracer: Arc<dyn PacketTracer>) {
         self.inner.lock().tracer = Some(tracer);
+        self.has_tracer.store(true, Ordering::Release);
     }
 
     fn trace(&self, pkt: &Packet, event: PacketEvent) {
+        // Fast path: no tracer installed — one relaxed-ish atomic load,
+        // no fabric lock, no Arc refcount traffic.
+        if !self.has_tracer.load(Ordering::Acquire) {
+            return;
+        }
         let tracer = self.inner.lock().tracer.clone();
         if let Some(tracer) = tracer {
             tracer.record(PacketRecord {
@@ -252,17 +264,14 @@ impl Network {
     /// tolerated only for same-node traffic, which is delivered after a
     /// small loopback delay.
     pub fn send_packet(&self, pkt: Packet) {
-        {
+        // One lock for the stats bump and the route lookup (the trace call
+        // between them is lock-free when no tracer is installed).
+        let route = {
             let mut inner = self.inner.lock();
             inner.stats.sent += 1;
-        }
+            inner.routes.get(&(pkt.src.node, pkt.dst.node)).cloned()
+        };
         self.trace(&pkt, PacketEvent::Sent);
-        let route = self
-            .inner
-            .lock()
-            .routes
-            .get(&(pkt.src.node, pkt.dst.node))
-            .cloned();
         match route {
             Some(links) if !links.is_empty() => self.forward(pkt, &links, 0),
             Some(_) | None if pkt.src.node == pkt.dst.node => {
@@ -299,28 +308,24 @@ impl Network {
                 let rec = self.sim.recorder();
                 if rec.is_enabled() {
                     let now = self.sim.now();
-                    rec.record(
-                        now.as_nanos(),
-                        EventKind::LinkQueue {
-                            link: u64::from(link_id.0),
-                            backlog_bytes: link.backlog_bytes(now) as u64,
-                            capacity_bytes: link.config().queue_capacity as u64,
-                        },
-                    );
+                    rec.record_with(now.as_nanos(), || EventKind::LinkQueue {
+                        link: u64::from(link_id.0),
+                        backlog_bytes: link.backlog_bytes(now) as u64,
+                        capacity_bytes: link.queue_capacity() as u64,
+                    });
                 }
                 self.sim
                     .schedule_packet_hop(at, self.clone(), pkt, links.clone(), idx + 1);
             }
             Verdict::Dropped(reason) => {
                 self.inner.lock().stats.dropped_link += 1;
-                self.sim.recorder().record(
-                    self.sim.now().as_nanos(),
-                    EventKind::LinkDrop {
+                self.sim
+                    .recorder()
+                    .record_with(self.sim.now().as_nanos(), || EventKind::LinkDrop {
                         link: u64::from(link_id.0),
                         reason: reason.label(),
                         wire_size: pkt.wire_size as u64,
-                    },
-                );
+                    });
                 self.trace(&pkt, PacketEvent::Dropped(reason));
             }
         }
@@ -338,14 +343,13 @@ impl Network {
                 if link.epoch() != pkt.sever_epoch {
                     link.note_severed();
                     self.inner.lock().stats.dropped_link += 1;
-                    self.sim.recorder().record(
-                        self.sim.now().as_nanos(),
-                        EventKind::LinkDrop {
+                    self.sim
+                        .recorder()
+                        .record_with(self.sim.now().as_nanos(), || EventKind::LinkDrop {
                             link: u64::from(link_id.0),
                             reason: DropReason::Severed.label(),
                             wire_size: pkt.wire_size as u64,
-                        },
-                    );
+                        });
                     self.trace(&pkt, PacketEvent::Dropped(DropReason::Severed));
                     return;
                 }

@@ -334,10 +334,25 @@ impl TcpShared {
     }
 
     fn perform(self: &Arc<Self>, actions: Vec<Action>) {
-        let events = self.events.lock().clone();
-        let conn = Connection::Tcp(TcpConn {
-            shared: self.clone(),
+        // Most batches are pure wire/timer work (segments out, RTO re-arm);
+        // only touch the handler registration — and build the `Connection`
+        // wrapper — when an action actually notifies the application.
+        let needs_events = actions.iter().any(|a| {
+            matches!(
+                a,
+                Action::Deliver(_) | Action::Connected | Action::Writable | Action::Closed(_)
+            )
         });
+        let (events, conn) = if needs_events {
+            (
+                self.events.lock().clone(),
+                Some(Connection::Tcp(TcpConn {
+                    shared: self.clone(),
+                })),
+            )
+        } else {
+            (None, None)
+        };
         for action in actions {
             match action {
                 Action::Send(seg) => {
@@ -351,23 +366,23 @@ impl TcpShared {
                     self.net.send_packet(pkt);
                 }
                 Action::Deliver(data) => {
-                    if let Some(ev) = &events {
-                        ev.on_data(&conn, data);
+                    if let (Some(ev), Some(conn)) = (&events, &conn) {
+                        ev.on_data(conn, data);
                     }
                 }
                 Action::Connected => {
-                    if let Some(ev) = &events {
-                        ev.on_connected(&conn);
+                    if let (Some(ev), Some(conn)) = (&events, &conn) {
+                        ev.on_connected(conn);
                     }
                 }
                 Action::Writable => {
-                    if let Some(ev) = &events {
-                        ev.on_writable(&conn);
+                    if let (Some(ev), Some(conn)) = (&events, &conn) {
+                        ev.on_writable(conn);
                     }
                 }
                 Action::Closed(reason) => {
-                    if let Some(ev) = &events {
-                        ev.on_closed(&conn, reason);
+                    if let (Some(ev), Some(conn)) = (&events, &conn) {
+                        ev.on_closed(conn, reason);
                     }
                 }
                 Action::ArmRto(delay, gen) => {
@@ -501,7 +516,7 @@ impl TcpShared {
                     }
                     // The final handshake ACK may carry data.
                     if !seg.payload.is_empty() || seg.flags.fin {
-                        receive_data(inner, &seg, now, out);
+                        receive_data(inner, seg, now, out);
                     }
                     try_send(inner, now, out);
                 } else if seg.flags.syn && !seg.flags.ack {
@@ -515,7 +530,7 @@ impl TcpShared {
                     resend_lost(inner, now, out);
                 }
                 if !seg.payload.is_empty() || seg.flags.fin {
-                    receive_data(inner, &seg, now, out);
+                    receive_data(inner, seg, now, out);
                 }
                 try_send(inner, now, out);
                 maybe_close(inner, out);
@@ -807,17 +822,20 @@ fn resend_lost(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
     }
 }
 
-fn receive_data(inner: &mut TcpInner, seg: &TcpSegment, now: SimTime, out: &mut Vec<Action>) {
+fn receive_data(inner: &mut TcpInner, seg: TcpSegment, now: SimTime, out: &mut Vec<Action>) {
+    let plen = seg.payload.len();
     if seg.flags.fin {
-        inner.peer_fin_seq = Some(seg.seq + seg.payload.len() as u64);
+        inner.peer_fin_seq = Some(seg.seq + plen as u64);
     }
     let seq = seg.seq;
-    if !seg.payload.is_empty() {
+    if plen > 0 {
         if seq == inner.rcv_nxt {
             inner.ts_recent = Some(seg.ts);
-            inner.rcv_nxt += seg.payload.len() as u64;
-            inner.stats.bytes_delivered += seg.payload.len() as u64;
-            out.push(Action::Deliver(seg.payload.clone()));
+            inner.rcv_nxt += plen as u64;
+            inner.stats.bytes_delivered += plen as u64;
+            // The segment is consumed here, so its payload handle moves
+            // straight into the delivery without a refcount round-trip.
+            out.push(Action::Deliver(seg.payload));
             // Drain any now-contiguous out-of-order data.
             while let Some(entry) = inner.ooo.first_entry() {
                 if *entry.key() != inner.rcv_nxt {
@@ -833,11 +851,9 @@ fn receive_data(inner: &mut TcpInner, seg: &TcpSegment, now: SimTime, out: &mut 
         } else if seq > inner.rcv_nxt {
             // Out of order: buffer if the receive buffer allows, dup-ACK
             // immediately either way.
-            if !inner.ooo.contains_key(&seq)
-                && inner.ooo_bytes + seg.payload.len() <= inner.cfg.recv_buf
-            {
-                inner.ooo_bytes += seg.payload.len();
-                inner.ooo.insert(seq, seg.payload.clone());
+            if !inner.ooo.contains_key(&seq) && inner.ooo_bytes + plen <= inner.cfg.recv_buf {
+                inner.ooo_bytes += plen;
+                inner.ooo.insert(seq, seg.payload);
             }
             schedule_ack(inner, now, out, true);
         } else {

@@ -169,19 +169,16 @@ impl RecorderTracer {
 
 impl PacketTracer for RecorderTracer {
     fn record(&self, record: PacketRecord) {
-        if !self.rec.is_enabled() {
-            return; // skip the endpoint formatting entirely
-        }
-        self.rec.record(
-            record.time.as_nanos(),
-            EventKind::Packet {
+        // `record_with` defers the endpoint/outcome formatting behind the
+        // recorder's enabled check, so a disabled recorder costs one load.
+        self.rec
+            .record_with(record.time.as_nanos(), || EventKind::Packet {
                 src: record.src.to_string(),
                 dst: record.dst.to_string(),
                 proto: record.protocol.label(),
                 wire_size: record.wire_size as u64,
                 outcome: record.event.label(),
-            },
-        );
+            });
     }
 }
 

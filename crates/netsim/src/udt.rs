@@ -380,10 +380,26 @@ impl UdtShared {
     }
 
     fn perform(self: &Arc<Self>, actions: Vec<Action>) {
-        let events = self.events.lock().clone();
-        let conn = Connection::Udt(UdtConn {
-            shared: self.clone(),
+        // Mirror of the TCP fast path: data packets and pacer re-arms are
+        // the common case, so the handler registration lock (and the
+        // `Connection` wrapper) is only touched when an action actually
+        // notifies the application.
+        let needs_events = actions.iter().any(|a| {
+            matches!(
+                a,
+                Action::Deliver(_) | Action::Connected | Action::Writable | Action::Closed(_)
+            )
         });
+        let (events, conn) = if needs_events {
+            (
+                self.events.lock().clone(),
+                Some(Connection::Udt(UdtConn {
+                    shared: self.clone(),
+                })),
+            )
+        } else {
+            (None, None)
+        };
         for action in actions {
             match action {
                 Action::Send(pkt) => {
@@ -396,23 +412,23 @@ impl UdtShared {
                     self.net.send_packet(wire);
                 }
                 Action::Deliver(data) => {
-                    if let Some(ev) = &events {
-                        ev.on_data(&conn, data);
+                    if let (Some(ev), Some(conn)) = (&events, &conn) {
+                        ev.on_data(conn, data);
                     }
                 }
                 Action::Connected => {
-                    if let Some(ev) = &events {
-                        ev.on_connected(&conn);
+                    if let (Some(ev), Some(conn)) = (&events, &conn) {
+                        ev.on_connected(conn);
                     }
                 }
                 Action::Writable => {
-                    if let Some(ev) = &events {
-                        ev.on_writable(&conn);
+                    if let (Some(ev), Some(conn)) = (&events, &conn) {
+                        ev.on_writable(conn);
                     }
                 }
                 Action::Closed(reason) => {
-                    if let Some(ev) = &events {
-                        ev.on_closed(&conn, reason);
+                    if let (Some(ev), Some(conn)) = (&events, &conn) {
+                        ev.on_closed(conn, reason);
                     }
                 }
                 Action::SchedulePacer(delay, gen) => {
