@@ -17,6 +17,7 @@ pub mod fuzz;
 pub mod msgs;
 pub mod ping;
 pub mod scenario;
+pub mod topology;
 pub mod transfer;
 
 pub use dataset::{Dataset, DatasetKind, PAPER_CHUNK_SIZE, PAPER_DATASET_SIZE};
@@ -30,6 +31,10 @@ pub use fuzz::{
 pub use msgs::{ChunkMsg, PingMsg, PongMsg};
 pub use ping::{PingStats, PingStatsHandle, Pinger, PingerConfig, Ponger};
 pub use scenario::{two_host_world, Setup, TwoHostWorld};
+pub use topology::{
+    build_converge_world, fat_tree, run_converging_senders, star_fanin, wan_mesh, ConvergeReport,
+    ConvergeSpec, ConvergeWorld, ScaleShape, Topology, CONVERGE_PORT,
+};
 pub use transfer::{
     FileReceiver, FileSender, ReceiverConfig, ReceiverSample, ReceiverStats, SenderConfig,
     SenderStats,

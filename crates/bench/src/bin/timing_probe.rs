@@ -4,15 +4,19 @@
 //! oracle), then one full-size transfer per (setup, transport) pair of
 //! interest, with simulated time, throughput and event counts.
 //!
-//! Emits everything machine-readable to `BENCH_engine.json`, and a
+//! Emits everything machine-readable to `BENCH_engine.json`, a
 //! sweep-throughput section (fuzz-scenario worlds/sec at several `--jobs`
-//! levels through `kmsg_bench::sweep`) to `BENCH_sweep.json`.
+//! levels through `kmsg_bench::sweep`) to `BENCH_sweep.json`, and a
+//! datacenter-scaling section (star fan-in worlds at increasing host
+//! counts: setup time, events/sec, per-flow heap bytes) to
+//! `BENCH_scale.json`.
 //!
 //! ```text
 //! cargo run --release -p kmsg-bench --bin timing_probe [--quick]
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -21,9 +25,39 @@ use rand::Rng;
 use kmsg_apps::*;
 use kmsg_core::Transport;
 use kmsg_netsim::engine::{EventTarget, Sim};
+use kmsg_netsim::iface::{Connection, StreamAccept, StreamEvents};
+use kmsg_netsim::network::Network;
+use kmsg_netsim::packet::Endpoint;
 use kmsg_netsim::reference::ReferenceSim;
 use kmsg_netsim::rng::SeedSource;
+use kmsg_netsim::tcp::{TcpConfig, TcpConn, TcpListener};
 use kmsg_netsim::time::SimTime;
+
+/// Counting allocator so the scaling section can report live heap bytes
+/// per flow (the same measurement the pre-slab baseline in EXPERIMENTS.md
+/// "Scaling" was taken with).
+struct CountingAlloc;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        LIVE_BYTES.fetch_add(l.size(), Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        LIVE_BYTES.fetch_sub(l.size(), Ordering::Relaxed);
+        System.dealloc(p, l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new: usize) -> *mut u8 {
+        LIVE_BYTES.fetch_add(new, Ordering::Relaxed);
+        LIVE_BYTES.fetch_sub(l.size(), Ordering::Relaxed);
+        System.realloc(p, l, new)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 struct EngineProbe {
     name: &'static str,
@@ -248,6 +282,134 @@ fn write_sweep_json(probes: &[SweepProbe]) {
     std::fs::write("BENCH_sweep.json", out).expect("write BENCH_sweep.json");
 }
 
+/// The pre-slab per-flow heap cost (bytes) measured with this same idle
+/// fan-in probe at 1000 flows — the reference the scaling rows compare
+/// against (EXPERIMENTS.md "Scaling").
+const BASELINE_BYTES_PER_FLOW: f64 = 6169.4;
+
+struct ScaleRow {
+    hosts: usize,
+    setup_secs: f64,
+    events: u64,
+    run_secs: f64,
+    events_per_sec: f64,
+    sim_secs: f64,
+    delivered_bytes: u64,
+    bytes_per_flow: f64,
+    established: usize,
+}
+
+struct Quiet;
+impl StreamEvents for Quiet {}
+
+struct AcceptQuiet;
+impl StreamAccept for AcceptQuiet {
+    fn on_accept(&self, _conn: &Connection) -> Arc<dyn StreamEvents> {
+        Arc::new(Quiet)
+    }
+}
+
+/// Live heap bytes attributable to one established-but-idle flow: build a
+/// star fan-in world, settle it, open `flows` connections, and divide the
+/// live-bytes delta by the flow count. Identical in shape and parameters
+/// to the probe that produced [`BASELINE_BYTES_PER_FLOW`].
+fn idle_flow_bytes(flows: usize) -> (f64, usize) {
+    let sim = Sim::new(42);
+    let net = Network::new(&sim);
+    let topo = star_fanin(&net, flows);
+    let _listener = TcpListener::bind(
+        &net,
+        topo.sink,
+        CONVERGE_PORT,
+        TcpConfig::default(),
+        Arc::new(AcceptQuiet),
+    )
+    .expect("bind idle sink");
+    sim.run_for(Duration::from_millis(10));
+    let before = LIVE_BYTES.load(Ordering::Relaxed);
+    let conns: Vec<TcpConn> = topo
+        .senders
+        .iter()
+        .map(|&s| {
+            TcpConn::connect(
+                &net,
+                s,
+                Endpoint::new(topo.sink, CONVERGE_PORT),
+                TcpConfig::default(),
+                Arc::new(Quiet),
+            )
+            .expect("idle connect")
+        })
+        .collect();
+    sim.run_for(Duration::from_secs(5));
+    let established = conns.iter().filter(|c| c.is_established()).count();
+    let after = LIVE_BYTES.load(Ordering::Relaxed);
+    let delta = after as isize - before as isize;
+    (delta as f64 / flows as f64, established)
+}
+
+/// Datacenter-scaling probe: per host count, an idle-flow memory
+/// measurement plus a full converging-senders run (64 KiB per sender into
+/// one sink) timing world setup and event throughput.
+fn scale_probes(host_counts: &[usize], seed: u64) -> Vec<ScaleRow> {
+    let mut rows = Vec::with_capacity(host_counts.len());
+    for &hosts in host_counts {
+        let (bytes_per_flow, established) = idle_flow_bytes(hosts);
+        let r = run_converging_senders(&ConvergeSpec::star(seed, hosts));
+        assert_eq!(
+            r.delivered_bytes,
+            r.flows as u64 * 64 * 1024,
+            "scale run at {hosts} hosts must deliver everything"
+        );
+        assert_eq!(r.closed_flows, r.flows, "all flows must close at {hosts} hosts");
+        rows.push(ScaleRow {
+            hosts,
+            setup_secs: r.setup_secs,
+            events: r.events,
+            run_secs: r.run_secs,
+            events_per_sec: r.events as f64 / r.run_secs,
+            sim_secs: r.sim_secs,
+            delivered_bytes: r.delivered_bytes,
+            bytes_per_flow,
+            established,
+        });
+    }
+    rows
+}
+
+fn write_scale_json(rows: &[ScaleRow]) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"scale\",\n");
+    out.push_str("  \"topology\": \"star-fanin\",\n");
+    out.push_str("  \"bytes_per_sender\": 65536,\n");
+    out.push_str(&format!(
+        "  \"baseline_bytes_per_flow\": {BASELINE_BYTES_PER_FLOW},\n"
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"hosts\": {}, \"flows\": {}, \"setup_secs\": {:.4}, \"events\": {}, \
+             \"run_secs\": {:.3}, \"events_per_sec\": {:.1}, \"sim_secs\": {:.3}, \
+             \"delivered_bytes\": {}, \"bytes_per_flow\": {:.1}, \
+             \"reduction_vs_baseline\": {:.3}, \"established\": {}}}{}\n",
+            r.hosts,
+            r.hosts,
+            r.setup_secs,
+            r.events,
+            r.run_secs,
+            r.events_per_sec,
+            r.sim_secs,
+            r.delivered_bytes,
+            r.bytes_per_flow,
+            1.0 - r.bytes_per_flow / BASELINE_BYTES_PER_FLOW,
+            r.established,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_scale.json", out).expect("write BENCH_scale.json");
+}
+
 fn main() {
     let args = kmsg_bench::BenchArgs::parse();
     let engine_events: u64 = if args.quick { 200_000 } else { 1_000_000 };
@@ -358,6 +520,42 @@ fn main() {
     }
     write_sweep_json(&sweeps);
 
+    // Datacenter scaling: star fan-in worlds at increasing host counts.
+    // Each row pairs an idle-flow heap measurement with a full converging
+    // transfer (10⁴ hosts in the full run; CI's --quick stops at 10³).
+    let host_counts: &[usize] = if args.quick {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    kmsg_telemetry::log_info!(
+        "\nScaling probe (star fan-in, 64 KiB per sender, baseline {:.1} B/flow):\n",
+        BASELINE_BYTES_PER_FLOW
+    );
+    kmsg_telemetry::log_info!(
+        "{:<8} {:>10} {:>12} {:>14} {:>12} {:>10}",
+        "hosts", "setup", "events", "events/sec", "B/flow", "vs base"
+    );
+    kmsg_bench::rule(72);
+    let scale_rows = scale_probes(host_counts, args.seed);
+    for r in &scale_rows {
+        kmsg_telemetry::log_info!(
+            "{:<8} {:>8.3} s {:>12} {:>14.0} {:>12.1} {:>9.1}%",
+            r.hosts,
+            r.setup_secs,
+            r.events,
+            r.events_per_sec,
+            r.bytes_per_flow,
+            (1.0 - r.bytes_per_flow / BASELINE_BYTES_PER_FLOW) * 100.0
+        );
+        assert_eq!(
+            r.established, r.hosts,
+            "every idle probe flow must establish at {} hosts",
+            r.hosts
+        );
+    }
+    write_scale_json(&scale_rows);
+
     // Flight-recorder sample: one small mixed-transport transfer on the
     // lossy WAN path with telemetry enabled. The exported files contain
     // only sim-time-derived data (wall-clock rates stay in
@@ -374,8 +572,8 @@ fn main() {
         .write_jsonl("telemetry.jsonl")
         .expect("write telemetry.jsonl");
     kmsg_telemetry::log_info!(
-        "\nWrote BENCH_engine.json, BENCH_sweep.json, telemetry.json, telemetry.jsonl \
-         ({} events recorded, {} retained)",
+        "\nWrote BENCH_engine.json, BENCH_sweep.json, BENCH_scale.json, telemetry.json, \
+         telemetry.jsonl ({} events recorded, {} retained)",
         r.recorder.recorded_total(),
         r.recorder.event_count()
     );

@@ -1,0 +1,106 @@
+//! Per-flow memory regression guard.
+//!
+//! The slab/handle flow representation (DESIGN.md §12) cut the heap cost
+//! of an established-but-idle TCP flow from ~6.2 KB to ~3.4 KB. This test
+//! re-measures that cost with a counting allocator on a 1000-flow star
+//! fan-in world and fails if it creeps back over budget. The budget
+//! (4300 B) sits ~30% above the measured value and — deliberately — just
+//! under 70% of the pre-slab baseline (6169.4 B, EXPERIMENTS.md
+//! "Scaling"), so any regression that erases the PR's ≥30% reduction
+//! claim fails here before it reaches a benchmark run.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use kmsg_apps::{star_fanin, CONVERGE_PORT};
+use kmsg_netsim::engine::Sim;
+use kmsg_netsim::iface::{Connection, StreamAccept, StreamEvents};
+use kmsg_netsim::network::Network;
+use kmsg_netsim::packet::Endpoint;
+use kmsg_netsim::tcp::{TcpConfig, TcpConn, TcpListener};
+
+struct CountingAlloc;
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        LIVE_BYTES.fetch_add(l.size(), Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        LIVE_BYTES.fetch_sub(l.size(), Ordering::Relaxed);
+        System.dealloc(p, l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new: usize) -> *mut u8 {
+        LIVE_BYTES.fetch_add(new, Ordering::Relaxed);
+        LIVE_BYTES.fetch_sub(l.size(), Ordering::Relaxed);
+        System.realloc(p, l, new)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// 70% of the pre-slab baseline is 4318.6 B; stay under it with margin
+/// over the measured ~3448 B.
+const BYTES_PER_FLOW_BUDGET: f64 = 4300.0;
+const FLOWS: usize = 1000;
+
+struct Quiet;
+impl StreamEvents for Quiet {}
+
+struct AcceptQuiet;
+impl StreamAccept for AcceptQuiet {
+    fn on_accept(&self, _conn: &Connection) -> Arc<dyn StreamEvents> {
+        Arc::new(Quiet)
+    }
+}
+
+#[test]
+fn idle_flow_memory_stays_under_budget() {
+    let sim = Sim::new(42);
+    let net = Network::new(&sim);
+    let topo = star_fanin(&net, FLOWS);
+    let _listener = TcpListener::bind(
+        &net,
+        topo.sink,
+        CONVERGE_PORT,
+        TcpConfig::default(),
+        Arc::new(AcceptQuiet),
+    )
+    .expect("bind");
+
+    // Settle the world so the delta below is pure per-flow state.
+    sim.run_for(Duration::from_millis(10));
+    let before = LIVE_BYTES.load(Ordering::Relaxed);
+
+    let conns: Vec<TcpConn> = topo
+        .senders
+        .iter()
+        .map(|&s| {
+            TcpConn::connect(
+                &net,
+                s,
+                Endpoint::new(topo.sink, CONVERGE_PORT),
+                TcpConfig::default(),
+                Arc::new(Quiet),
+            )
+            .expect("connect")
+        })
+        .collect();
+    sim.run_for(Duration::from_secs(5));
+
+    let established = conns.iter().filter(|c| c.is_established()).count();
+    assert_eq!(established, FLOWS, "all probe flows must establish");
+
+    let after = LIVE_BYTES.load(Ordering::Relaxed);
+    let per_flow = (after as isize - before as isize) as f64 / FLOWS as f64;
+    assert!(
+        per_flow < BYTES_PER_FLOW_BUDGET,
+        "per-flow heap cost regressed: {per_flow:.1} B/flow (budget {BYTES_PER_FLOW_BUDGET} B; \
+         pre-slab baseline 6169.4 B)"
+    );
+}

@@ -68,8 +68,7 @@ use std::time::Duration;
 use kmsg_telemetry::Recorder;
 use parking_lot::Mutex;
 
-use crate::link::LinkId;
-use crate::network::Network;
+use crate::network::{Network, RouteRef};
 use crate::packet::Packet;
 use crate::rng::{RngStream, SeedSource};
 use crate::time::SimTime;
@@ -101,12 +100,16 @@ enum EventKind {
         token: u64,
     },
     /// Advance a packet to hop `idx` of its route (deliver when past the
-    /// end). No per-event allocation; the route is shared via `Arc`.
+    /// end). The route is an 8-byte span handle into the network's
+    /// flattened link arena, not a refcounted pointer, and the packet rides
+    /// in one box allocated at `send_packet` time and freed at delivery —
+    /// so hop events stay small (the event store holds thousands of them
+    /// inline in wheel slots) and hops themselves never allocate.
     PacketHop {
         net: Network,
-        pkt: Packet,
-        links: Arc<Vec<LinkId>>,
-        idx: usize,
+        pkt: Box<Packet>,
+        route: RouteRef,
+        idx: u32,
     },
 }
 
@@ -261,21 +264,21 @@ impl Sim {
     }
 
     /// Schedules a packet-hop event: at `at`, the packet continues at hop
-    /// `idx` of `links` on `net` (delivery once past the last hop).
+    /// `idx` of `route` on `net` (delivery once past the last hop).
     pub(crate) fn schedule_packet_hop(
         &self,
         at: SimTime,
         net: Network,
-        pkt: Packet,
-        links: Arc<Vec<LinkId>>,
-        idx: usize,
+        pkt: Box<Packet>,
+        route: RouteRef,
+        idx: u32,
     ) {
         self.schedule_event(
             at,
             EventKind::PacketHop {
                 net,
                 pkt,
-                links,
+                route,
                 idx,
             },
         );
@@ -288,9 +291,9 @@ impl Sim {
             EventKind::PacketHop {
                 net,
                 pkt,
-                links,
+                route,
                 idx,
-            } => net.packet_hop(pkt, &links, idx),
+            } => net.packet_hop(pkt, route, idx),
         }
     }
 

@@ -27,6 +27,12 @@ impl ConnectionId {
         ConnectionId(sim.fresh_conn_id())
     }
 
+    /// Rebuilds an id from its raw value (for flows stored by raw id in
+    /// dense per-stack tables).
+    pub(crate) const fn from_raw(raw: u64) -> Self {
+        ConnectionId(raw)
+    }
+
     /// Raw numeric value (diagnostics only).
     #[must_use]
     pub const fn raw(self) -> u64 {

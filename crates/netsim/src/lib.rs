@@ -43,6 +43,7 @@ pub mod network;
 pub mod packet;
 pub mod reference;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod tcp;
 pub mod testutil;
@@ -59,6 +60,7 @@ pub use iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvent
 pub use link::{DropReason, GeConfig, LinkConfig, LinkId, PolicerConfig};
 pub use network::{BindError, Network, NetworkStats, PacketSink};
 pub use packet::{Endpoint, NodeId, WireProtocol};
+pub use slab::{FxHashMap, FxHashSet, FxHasher, Handle, Slab};
 pub use time::SimTime;
 pub use trace::{PacketEvent, PacketRecord, PacketTracer, RecorderTracer, RingTracer};
 

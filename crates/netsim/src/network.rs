@@ -5,14 +5,23 @@
 //! both for multi-hop topologies and to chain per-endpoint processing links,
 //! e.g. the UDT receive-processing bottleneck).
 //!
-//! Transport endpooints register [`PacketSink`]s under a
+//! Transport endpoints register [`PacketSink`]s under a
 //! `(node, protocol, port)` binding; arriving packets are dispatched to the
 //! matching sink.
+//!
+//! # Dense fabric state
+//!
+//! Sized for datacenter-scale worlds (10⁴ hosts, 10⁴ flows): routes live
+//! flattened in one append-only link arena and per-hop events carry an
+//! 8-byte [`RouteRef`] span handle instead of a refcounted `Arc<Vec<_>>`;
+//! the hot-path lookups (route table, sink demux) use packed `u64` keys in
+//! [`FxHashMap`]s rather than tuple keys under SipHash. No `Arc` is cloned
+//! on the per-hop path — links are borrowed in place from the dense link
+//! table while the fabric lock is held.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use kmsg_telemetry::EventKind;
 use parking_lot::Mutex;
@@ -20,8 +29,43 @@ use parking_lot::Mutex;
 use crate::engine::Sim;
 use crate::link::{DropReason, Link, LinkConfig, LinkId, Verdict};
 use crate::packet::{Endpoint, NodeId, Packet, WireProtocol};
+use crate::slab::FxHashMap;
 use crate::time::SimTime;
 use crate::trace::{PacketEvent, PacketRecord, PacketTracer};
+
+/// A handle to an installed route: a `(offset, len)` span into the
+/// network's flattened link arena. 8 bytes and `Copy`, so packet-hop events
+/// carry it by value. The arena is append-only, which keeps spans held by
+/// in-flight hop events valid even after the route is replaced (matching
+/// the old `Arc<Vec<LinkId>>` semantics: packets already under way finish
+/// on the path they started on).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct RouteRef {
+    off: u32,
+    len: u32,
+}
+
+impl RouteRef {
+    /// The empty route: used for node-local loopback deliveries.
+    pub(crate) const EMPTY: RouteRef = RouteRef { off: 0, len: 0 };
+}
+
+/// Packs a `(node, protocol, port)` binding into one 8-byte map key.
+#[inline]
+fn sink_key(node: NodeId, protocol: WireProtocol, port: u16) -> u64 {
+    (u64::from(node.index() as u32) << 32) | ((protocol as u64) << 16) | u64::from(port)
+}
+
+/// Packs an ordered `(src, dst)` node pair into one 8-byte map key.
+#[inline]
+fn route_key(src: NodeId, dst: NodeId) -> u64 {
+    (u64::from(src.index() as u32) << 32) | u64::from(dst.index() as u32)
+}
+
+/// First ephemeral port (IANA dynamic range).
+const EPHEMERAL_LO: u16 = 49152;
+/// Number of ports in the ephemeral range (49152..=65535).
+const EPHEMERAL_SPAN: u32 = (u16::MAX - EPHEMERAL_LO) as u32 + 1;
 
 /// Receives packets addressed to a bound `(node, protocol, port)`.
 pub trait PacketSink: Send + Sync {
@@ -47,18 +91,58 @@ pub struct NetworkStats {
 
 struct NetInner {
     node_names: Vec<String>,
+    /// Dense link table. Append-only: a `LinkId` is a plain index with an
+    /// implicit generation of zero. The `Arc` exists only for the
+    /// control-plane accessor ([`Network::link`]); the per-hop path borrows
+    /// the link in place and never touches the refcount.
     links: Vec<Arc<Link>>,
-    /// Routes are shared via `Arc` so per-hop events carry a pointer clone
-    /// instead of a fresh `Vec` (or a boxed closure capturing one).
-    routes: HashMap<(NodeId, NodeId), Arc<Vec<LinkId>>>,
-    /// Cached empty route for loopback hop events.
-    empty_route: Arc<Vec<LinkId>>,
-    sinks: HashMap<(NodeId, WireProtocol, u16), Arc<dyn PacketSink>>,
-    next_ephemeral: HashMap<NodeId, u16>,
+    /// Route index: packed `(src, dst)` pair → span into `route_arena`.
+    routes: FxHashMap<u64, RouteRef>,
+    /// Flattened, append-only storage for every installed route's links.
+    route_arena: Vec<LinkId>,
+    /// Sink demux: packed `(node, protocol, port)` → sink.
+    sinks: FxHashMap<u64, Arc<dyn PacketSink>>,
+    /// Per-node cursor into the ephemeral port range.
+    next_ephemeral: FxHashMap<NodeId, u16>,
     stats: NetworkStats,
     tracer: Option<Arc<dyn PacketTracer>>,
     /// Delay applied to node-local (same-node) deliveries with no route.
     local_delay: std::time::Duration,
+    /// Per-network TCP flow table, created lazily on first TCP use. Holds a
+    /// [`WeakNetwork`] back-reference, so this is not a cycle.
+    tcp_stack: Option<Arc<crate::tcp::TcpStack>>,
+    /// Per-network UDT flow table (same ownership shape as `tcp_stack`).
+    udt_stack: Option<Arc<crate::udt::UdtStack>>,
+}
+
+impl NetInner {
+    /// The link sequence behind a route handle.
+    #[inline]
+    fn route_links(&self, r: RouteRef) -> &[LinkId] {
+        &self.route_arena[r.off as usize..(r.off + r.len) as usize]
+    }
+}
+
+/// Weak counterpart of [`Network`], held by the per-network transport
+/// stacks. The stacks are reachable from the fabric (they are registered as
+/// packet sinks), so a strong back-reference would leak whole worlds; the
+/// `Sim` handle stays strong because the engine is the root owner anyway.
+#[derive(Clone)]
+pub(crate) struct WeakNetwork {
+    sim: Sim,
+    inner: Weak<Mutex<NetInner>>,
+    has_tracer: Weak<AtomicBool>,
+}
+
+impl WeakNetwork {
+    /// Rebuilds a full fabric handle, or `None` mid-teardown.
+    pub(crate) fn upgrade(&self) -> Option<Network> {
+        Some(Network {
+            sim: self.sim.clone(),
+            inner: self.inner.upgrade()?,
+            has_tracer: self.has_tracer.upgrade()?,
+        })
+    }
 }
 
 /// Handle to the simulated network fabric. Cheaply cloneable.
@@ -113,13 +197,15 @@ impl Network {
             inner: Arc::new(Mutex::new(NetInner {
                 node_names: Vec::new(),
                 links: Vec::new(),
-                routes: HashMap::new(),
-                empty_route: Arc::new(Vec::new()),
-                sinks: HashMap::new(),
-                next_ephemeral: HashMap::new(),
+                routes: FxHashMap::default(),
+                route_arena: Vec::new(),
+                sinks: FxHashMap::default(),
+                next_ephemeral: FxHashMap::default(),
                 stats: NetworkStats::default(),
                 tracer: None,
                 local_delay: std::time::Duration::from_micros(5),
+                tcp_stack: None,
+                udt_stack: None,
             })),
             has_tracer: Arc::new(AtomicBool::new(false)),
         }
@@ -129,6 +215,38 @@ impl Network {
     #[must_use]
     pub fn sim(&self) -> &Sim {
         &self.sim
+    }
+
+    /// A weak handle for long-lived subsystems (transport stacks) that must
+    /// not keep the fabric alive.
+    pub(crate) fn downgrade(&self) -> WeakNetwork {
+        WeakNetwork {
+            sim: self.sim.clone(),
+            inner: Arc::downgrade(&self.inner),
+            has_tracer: Arc::downgrade(&self.has_tracer),
+        }
+    }
+
+    /// The per-network TCP flow table, created on first use.
+    pub(crate) fn tcp_stack(&self) -> Arc<crate::tcp::TcpStack> {
+        let mut inner = self.inner.lock();
+        if let Some(stack) = &inner.tcp_stack {
+            return stack.clone();
+        }
+        let stack = crate::tcp::TcpStack::new(self.sim.clone(), self.downgrade());
+        inner.tcp_stack = Some(stack.clone());
+        stack
+    }
+
+    /// The per-network UDT flow table, created on first use.
+    pub(crate) fn udt_stack(&self) -> Arc<crate::udt::UdtStack> {
+        let mut inner = self.inner.lock();
+        if let Some(stack) = &inner.udt_stack {
+            return stack.clone();
+        }
+        let stack = crate::udt::UdtStack::new(self.sim.clone(), self.downgrade());
+        inner.udt_stack = Some(stack.clone());
+        stack
     }
 
     /// Adds a named host.
@@ -170,18 +288,26 @@ impl Network {
 
     /// Installs the route for packets from `src` to `dst` as an ordered
     /// sequence of links. Replaces any existing route.
+    ///
+    /// The links are appended to the route arena; a replaced route's old
+    /// span stays in place so in-flight packets finish on the path they
+    /// started on (the old `Arc<Vec<LinkId>>` behaviour).
     pub fn set_route(&self, src: NodeId, dst: NodeId, links: Vec<LinkId>) {
-        self.inner.lock().routes.insert((src, dst), Arc::new(links));
+        let mut inner = self.inner.lock();
+        let off = u32::try_from(inner.route_arena.len()).expect("route arena overflow");
+        let len = u32::try_from(links.len()).expect("route too long");
+        inner.route_arena.extend_from_slice(&links);
+        inner.routes.insert(route_key(src, dst), RouteRef { off, len });
     }
 
     /// Returns the currently installed route, if any.
     #[must_use]
     pub fn route(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
-        self.inner
-            .lock()
+        let inner = self.inner.lock();
+        inner
             .routes
-            .get(&(src, dst))
-            .map(|links| links.as_ref().clone())
+            .get(&route_key(src, dst))
+            .map(|&r| inner.route_links(r).to_vec())
     }
 
     /// Convenience: connects two nodes with a symmetric pair of directed
@@ -208,7 +334,7 @@ impl Network {
         sink: Arc<dyn PacketSink>,
     ) -> Result<(), BindError> {
         let mut inner = self.inner.lock();
-        let key = (node, protocol, port);
+        let key = sink_key(node, protocol, port);
         if inner.sinks.contains_key(&key) {
             return Err(BindError {
                 endpoint: Endpoint::new(node, port),
@@ -221,16 +347,29 @@ impl Network {
 
     /// Removes a binding if present.
     pub fn unbind(&self, node: NodeId, protocol: WireProtocol, port: u16) {
-        self.inner.lock().sinks.remove(&(node, protocol, port));
+        self.inner.lock().sinks.remove(&sink_key(node, protocol, port));
     }
 
-    /// Allocates a fresh ephemeral port on `node` (49152 upward).
-    pub fn alloc_ephemeral_port(&self, node: NodeId) -> u16 {
+    /// Allocates a fresh ephemeral port on `node` for `protocol`
+    /// (49152..=65535). The cursor wraps around at the top of the range and
+    /// ports already bound for `protocol` are skipped, so long-lived worlds
+    /// with connection churn keep allocating successfully.
+    ///
+    /// Returns `None` when every port in the ephemeral range is bound.
+    #[must_use]
+    pub fn alloc_ephemeral_port(&self, node: NodeId, protocol: WireProtocol) -> Option<u16> {
         let mut inner = self.inner.lock();
-        let next = inner.next_ephemeral.entry(node).or_insert(49152);
-        let port = *next;
-        *next = next.checked_add(1).expect("ephemeral port space exhausted");
-        port
+        let start = *inner.next_ephemeral.get(&node).unwrap_or(&EPHEMERAL_LO);
+        for i in 0..EPHEMERAL_SPAN {
+            let off = (u32::from(start - EPHEMERAL_LO) + i) % EPHEMERAL_SPAN;
+            let port = EPHEMERAL_LO + off as u16;
+            if !inner.sinks.contains_key(&sink_key(node, protocol, port)) {
+                let next = EPHEMERAL_LO + ((off + 1) % EPHEMERAL_SPAN) as u16;
+                inner.next_ephemeral.insert(node, next);
+                return Some(port);
+            }
+        }
+        None
     }
 
     /// Installs a packet tracer observing every send, drop and delivery.
@@ -264,24 +403,26 @@ impl Network {
     /// tolerated only for same-node traffic, which is delivered after a
     /// small loopback delay.
     pub fn send_packet(&self, pkt: Packet) {
+        // The packet is boxed once here and freed at delivery (or drop);
+        // every hop event carries the same 8-byte box pointer, keeping the
+        // inline event-store entries small.
+        let pkt = Box::new(pkt);
         // One lock for the stats bump and the route lookup (the trace call
         // between them is lock-free when no tracer is installed).
         let route = {
             let mut inner = self.inner.lock();
             inner.stats.sent += 1;
-            inner.routes.get(&(pkt.src.node, pkt.dst.node)).cloned()
+            inner.routes.get(&route_key(pkt.src.node, pkt.dst.node)).copied()
         };
         self.trace(&pkt, PacketEvent::Sent);
         match route {
-            Some(links) if !links.is_empty() => self.forward(pkt, &links, 0),
+            Some(r) if r.len > 0 => self.forward(pkt, r, 0),
             Some(_) | None if pkt.src.node == pkt.dst.node => {
-                let (delay, empty) = {
-                    let inner = self.inner.lock();
-                    (inner.local_delay, inner.empty_route.clone())
-                };
+                let delay = self.inner.lock().local_delay;
                 // A hop event past the (empty) route's end is a delivery.
                 let at = self.sim.now() + delay;
-                self.sim.schedule_packet_hop(at, self.clone(), pkt, empty, 0);
+                self.sim
+                    .schedule_packet_hop(at, self.clone(), pkt, RouteRef::EMPTY, 0);
             }
             Some(_) => {
                 // Empty route between distinct nodes: treat as unrouted.
@@ -297,75 +438,95 @@ impl Network {
 
     /// Transmits `pkt` over hop `idx` of its route, scheduling the next hop
     /// event at the link's computed arrival time.
-    fn forward(&self, mut pkt: Packet, links: &Arc<Vec<LinkId>>, idx: usize) {
-        let link_id = links[idx];
-        let link = self.inner.lock().links[link_id.0 as usize].clone();
-        match link.transmit(&self.sim, pkt.wire_size, pkt.protocol.is_udp_family()) {
-            Verdict::DeliverAt(at) => {
-                // Stamp the sever epoch: if the link is severed before the
-                // arrival event fires, the packet dies at the far end.
-                pkt.sever_epoch = link.epoch();
-                let rec = self.sim.recorder();
-                if rec.is_enabled() {
-                    let now = self.sim.now();
-                    rec.record_with(now.as_nanos(), || EventKind::LinkQueue {
-                        link: u64::from(link_id.0),
-                        backlog_bytes: link.backlog_bytes(now) as u64,
-                        capacity_bytes: link.queue_capacity() as u64,
-                    });
+    ///
+    /// Runs under the fabric lock: the link is borrowed from the dense table
+    /// (no `Arc` clone per hop) and the next hop event is scheduled before
+    /// the lock drops. Lock order is always fabric → link → engine; link and
+    /// engine code never calls back into the fabric, so this cannot deadlock.
+    fn forward(&self, mut pkt: Box<Packet>, route: RouteRef, idx: u32) {
+        let dropped = {
+            let mut inner = self.inner.lock();
+            let link_id = inner.route_links(route)[idx as usize];
+            let link = &inner.links[link_id.index() as usize];
+            match link.transmit(&self.sim, pkt.wire_size, pkt.protocol.is_udp_family()) {
+                Verdict::DeliverAt(at) => {
+                    // Stamp the sever epoch: if the link is severed before
+                    // the arrival event fires, the packet dies at the far
+                    // end.
+                    pkt.sever_epoch = link.epoch();
+                    let rec = self.sim.recorder();
+                    if rec.is_enabled() {
+                        let now = self.sim.now();
+                        rec.record_with(now.as_nanos(), || EventKind::LinkQueue {
+                            link: u64::from(link_id.0),
+                            backlog_bytes: link.backlog_bytes(now) as u64,
+                            capacity_bytes: link.queue_capacity() as u64,
+                        });
+                    }
+                    self.sim
+                        .schedule_packet_hop(at, self.clone(), pkt, route, idx + 1);
+                    None
                 }
-                self.sim
-                    .schedule_packet_hop(at, self.clone(), pkt, links.clone(), idx + 1);
+                Verdict::Dropped(reason) => {
+                    inner.stats.dropped_link += 1;
+                    Some((link_id, reason, pkt))
+                }
             }
-            Verdict::Dropped(reason) => {
-                self.inner.lock().stats.dropped_link += 1;
-                self.sim
-                    .recorder()
-                    .record_with(self.sim.now().as_nanos(), || EventKind::LinkDrop {
-                        link: u64::from(link_id.0),
-                        reason: reason.label(),
-                        wire_size: pkt.wire_size as u64,
-                    });
-                self.trace(&pkt, PacketEvent::Dropped(reason));
-            }
+        };
+        if let Some((link_id, reason, pkt)) = dropped {
+            self.sim
+                .recorder()
+                .record_with(self.sim.now().as_nanos(), || EventKind::LinkDrop {
+                    link: u64::from(link_id.0),
+                    reason: reason.label(),
+                    wire_size: pkt.wire_size as u64,
+                });
+            self.trace(&pkt, PacketEvent::Dropped(reason));
         }
     }
 
     /// Entry point for scheduled packet-hop events: continue along the route
     /// at `idx`, or deliver once past its end.
-    pub(crate) fn packet_hop(&self, pkt: Packet, links: &Arc<Vec<LinkId>>, idx: usize) {
+    pub(crate) fn packet_hop(&self, pkt: Box<Packet>, route: RouteRef, idx: u32) {
         // Arrival check for the hop just crossed: a sever while the packet
         // was in flight kills it here (carrier loss, not an unplugged
         // uplink — see `Link::sever`).
         if idx >= 1 {
-            if let Some(&link_id) = links.get(idx - 1) {
-                let link = self.inner.lock().links[link_id.0 as usize].clone();
+            let severed = {
+                let mut inner = self.inner.lock();
+                let link_id = inner.route_links(route)[idx as usize - 1];
+                let link = &inner.links[link_id.index() as usize];
                 if link.epoch() != pkt.sever_epoch {
                     link.note_severed();
-                    self.inner.lock().stats.dropped_link += 1;
-                    self.sim
-                        .recorder()
-                        .record_with(self.sim.now().as_nanos(), || EventKind::LinkDrop {
-                            link: u64::from(link_id.0),
-                            reason: DropReason::Severed.label(),
-                            wire_size: pkt.wire_size as u64,
-                        });
-                    self.trace(&pkt, PacketEvent::Dropped(DropReason::Severed));
-                    return;
+                    inner.stats.dropped_link += 1;
+                    Some(link_id)
+                } else {
+                    None
                 }
+            };
+            if let Some(link_id) = severed {
+                self.sim
+                    .recorder()
+                    .record_with(self.sim.now().as_nanos(), || EventKind::LinkDrop {
+                        link: u64::from(link_id.0),
+                        reason: DropReason::Severed.label(),
+                        wire_size: pkt.wire_size as u64,
+                    });
+                self.trace(&pkt, PacketEvent::Dropped(DropReason::Severed));
+                return;
             }
         }
-        if idx < links.len() {
-            self.forward(pkt, links, idx);
+        if idx < route.len {
+            self.forward(pkt, route, idx);
         } else {
             self.deliver(pkt);
         }
     }
 
-    fn deliver(&self, pkt: Packet) {
+    fn deliver(&self, pkt: Box<Packet>) {
         let sink = {
             let mut inner = self.inner.lock();
-            let key = (pkt.dst.node, pkt.protocol, pkt.dst.port);
+            let key = sink_key(pkt.dst.node, pkt.protocol, pkt.dst.port);
             let found = inner.sinks.get(&key).cloned();
             match &found {
                 Some(_) => inner.stats.delivered += 1,
@@ -376,7 +537,8 @@ impl Network {
         match sink {
             Some(sink) => {
                 self.trace(&pkt, PacketEvent::Delivered);
-                sink.on_packet(self, pkt);
+                // The box dies here: the sink gets the packet by value.
+                sink.on_packet(self, *pkt);
             }
             None => self.trace(&pkt, PacketEvent::NoSink),
         }
@@ -510,12 +672,63 @@ mod tests {
     #[test]
     fn ephemeral_ports_unique_per_node() {
         let (_sim, net, a, b) = two_nodes();
-        let p1 = net.alloc_ephemeral_port(a);
-        let p2 = net.alloc_ephemeral_port(a);
-        let p3 = net.alloc_ephemeral_port(b);
+        let p1 = net.alloc_ephemeral_port(a, WireProtocol::Tcp).unwrap();
+        let p2 = net.alloc_ephemeral_port(a, WireProtocol::Tcp).unwrap();
+        let p3 = net.alloc_ephemeral_port(b, WireProtocol::Tcp).unwrap();
         assert_ne!(p1, p2);
         assert_eq!(p1, 49152);
         assert_eq!(p3, 49152);
+    }
+
+    #[test]
+    fn ephemeral_ports_wrap_around_and_skip_bound() {
+        let (_sim, net, a, _b) = two_nodes();
+        let sink = Arc::new(Counter(AtomicUsize::new(0)));
+        // Park the cursor near the top of the range, with the last two
+        // ports already bound.
+        net.bind(a, WireProtocol::Tcp, 65534, sink.clone()).unwrap();
+        net.bind(a, WireProtocol::Tcp, 65535, sink.clone()).unwrap();
+        net.inner.lock().next_ephemeral.insert(a, 65534);
+        // Bound ports are skipped and the cursor wraps to the bottom.
+        let p = net.alloc_ephemeral_port(a, WireProtocol::Tcp).unwrap();
+        assert_eq!(p, 49152);
+        // A different protocol has its own namespace: 65534 is free there.
+        let q = net.alloc_ephemeral_port(a, WireProtocol::Udt);
+        assert_eq!(q, Some(49153));
+        net.inner.lock().next_ephemeral.insert(a, 65534);
+        let q = net.alloc_ephemeral_port(a, WireProtocol::Udt).unwrap();
+        assert_eq!(q, 65534);
+    }
+
+    #[test]
+    fn ephemeral_exhaustion_errors_cleanly() {
+        let (_sim, net, a, _b) = two_nodes();
+        let sink = Arc::new(Counter(AtomicUsize::new(0)));
+        for port in 49152..=u16::MAX {
+            net.bind(a, WireProtocol::Tcp, port, sink.clone()).unwrap();
+        }
+        assert_eq!(net.alloc_ephemeral_port(a, WireProtocol::Tcp), None);
+        // Freeing one port makes allocation succeed again.
+        net.unbind(a, WireProtocol::Tcp, 50_000);
+        assert_eq!(net.alloc_ephemeral_port(a, WireProtocol::Tcp), Some(50_000));
+    }
+
+    #[test]
+    fn replaced_route_is_used_for_new_packets() {
+        let sim = Sim::new(9);
+        let net = Network::new(&sim);
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        let slow = net.add_link(LinkConfig::new(1e9, Duration::from_millis(50)));
+        let fast = net.add_link(LinkConfig::new(1e9, Duration::from_millis(1)));
+        net.set_route(a, b, vec![slow]);
+        net.set_route(a, b, vec![fast]);
+        assert_eq!(net.route(a, b), Some(vec![fast]));
+        let sink = Arc::new(Counter(AtomicUsize::new(0)));
+        net.bind(b, WireProtocol::Udp, 80, sink.clone()).unwrap();
+        net.send_packet(udp_packet(Endpoint::new(a, 1), Endpoint::new(b, 80)));
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sink.0.load(Ordering::SeqCst), 1, "must use the fast route");
     }
 
     #[test]

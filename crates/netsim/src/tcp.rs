@@ -11,6 +11,15 @@
 //! product paths with random loss its average window follows the well-known
 //! `MSS/(RTT·√p)` law, producing the sharp throughput drop-off of the
 //! paper's Figure 9.
+//!
+//! # Flow storage
+//!
+//! All per-connection state lives in one [`Slab`] inside the per-network
+//! [`TcpStack`]; applications, packet demux, and timers address flows by
+//! 8-byte generation-checked [`Handle`]s instead of `Arc`s. Timer events
+//! carry a packed `kind | slot | generation` token and fire on the stack
+//! itself through [`EventTarget`], so neither path allocates or touches a
+//! reference count. See `DESIGN.md` §12 for the rationale.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -21,9 +30,11 @@ use bytes::Bytes;
 use kmsg_telemetry::{EventKind, Recorder};
 use parking_lot::Mutex;
 
+use crate::engine::{EventTarget, Sim};
 use crate::iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvents};
-use crate::network::{BindError, Network, PacketSink};
+use crate::network::{BindError, Network, PacketSink, WeakNetwork};
 use crate::packet::{Endpoint, NodeId, Packet, PacketBody, WireProtocol};
+use crate::slab::{FxHashMap, Handle, Slab};
 use crate::time::SimTime;
 
 /// TCP tuning parameters.
@@ -159,8 +170,35 @@ struct SentSeg {
     last_rexmit: Option<SimTime>,
 }
 
-struct TcpInner {
-    cfg: TcpConfig,
+/// Packs an endpoint into a dense map key: node index in the high bits,
+/// port in the low 16.
+fn ep_key(e: Endpoint) -> u64 {
+    (u64::from(e.node.index()) << 16) | u64::from(e.port)
+}
+
+/// Demux key for an established flow: (local, peer) endpoint pair.
+fn pair_key(local: Endpoint, peer: Endpoint) -> u128 {
+    (u128::from(ep_key(local)) << 64) | u128::from(ep_key(peer))
+}
+
+/// Timer-token layout: `kind(3) | slot-index(29) | aux(32)`. The aux word
+/// carries the slab generation so a token can never resurrect a reused slot.
+const TOKEN_KIND_SHIFT: u32 = 61;
+const TOKEN_IDX_SHIFT: u32 = 32;
+const TOKEN_IDX_MASK: u64 = (1 << 29) - 1;
+const KIND_RTO: u64 = 0;
+const KIND_DELACK: u64 = 1;
+
+fn token(kind: u64, h: Handle<Flow>) -> u64 {
+    (kind << TOKEN_KIND_SHIFT)
+        | ((h.index() as u64 & TOKEN_IDX_MASK) << TOKEN_IDX_SHIFT)
+        | u64::from(h.generation())
+}
+
+/// Full per-flow TCP state: one slab slot, no interior `Arc`s.
+struct Flow {
+    /// Index into the stack's interned [`TcpConfig`] table.
+    cfg_id: u16,
     state: State,
     local: Endpoint,
     peer: Endpoint,
@@ -181,8 +219,12 @@ struct TcpInner {
     srtt: Option<f64>,
     rttvar: f64,
     rto: Duration,
-    rto_gen: u64,
+    /// An RTO timer is outstanding. Re-arming moves `rto_deadline` forward;
+    /// a firing older than the deadline is stale and ignored (every arm also
+    /// schedules an event at exactly the new deadline, so the live deadline
+    /// is always covered).
     rto_armed: bool,
+    rto_deadline: SimTime,
     consecutive_timeouts: u32,
     syn_retries_left: u32,
     fin_queued: bool,
@@ -196,7 +238,7 @@ struct TcpInner {
     ooo_bytes: usize,
     ts_recent: Option<SimTime>,
     delack_pending: u32,
-    delack_gen: u64,
+    delack_deadline: SimTime,
     peer_fin_seq: Option<u64>,
     fin_received: bool,
 
@@ -207,73 +249,30 @@ struct TcpInner {
 
     stats: TcpConnStats,
 
-    // --- telemetry ---
     /// Raw [`ConnectionId`] used to tag flight-recorder events.
     conn_id: u64,
-    /// Recorder shared with the owning [`Sim`](crate::engine::Sim).
-    rec: Recorder,
+    /// The application's event handler (absent until `on_accept` returns).
+    events: Option<Arc<dyn StreamEvents>>,
+    /// Connect-created flows die in place when the application drops its
+    /// last [`TcpConn`]; accepted flows are owned by their listener entry.
+    app_owned: bool,
+    /// Live [`TcpConn`] wrappers referring to this slot.
+    app_handles: u32,
 }
 
-impl TcpInner {
-    fn flight(&self) -> u64 {
-        self.snd_nxt - self.snd_una
-    }
-
-    fn my_wnd(&self) -> u64 {
-        (self.cfg.recv_buf.saturating_sub(self.ooo_bytes)) as u64
-    }
-
-    fn send_window(&self) -> u64 {
-        (self.cwnd as u64).min(self.peer_wnd)
-    }
-}
-
-enum Action {
-    Send(TcpSegment),
-    Deliver(Bytes),
-    Connected,
-    Writable,
-    Closed(CloseReason),
-    ArmRto(Duration, u64),
-    ArmDelack(Duration, u64),
-}
-
-pub(crate) struct TcpShared {
-    id: ConnectionId,
-    net: Network,
-    inner: Mutex<TcpInner>,
-    events: Mutex<Option<Arc<dyn StreamEvents>>>,
-}
-
-/// A simulated TCP connection handle. Cloning refers to the same connection.
-#[derive(Clone)]
-pub struct TcpConn {
-    shared: Arc<TcpShared>,
-}
-
-impl fmt::Debug for TcpConn {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.shared.inner.lock();
-        f.debug_struct("TcpConn")
-            .field("id", &self.shared.id)
-            .field("local", &inner.local)
-            .field("peer", &inner.peer)
-            .field("state", &inner.state)
-            .finish()
-    }
-}
-
-impl TcpShared {
-    fn new_inner(
-        cfg: TcpConfig,
+impl Flow {
+    fn new(
+        cfg_id: u16,
+        cfg: &TcpConfig,
         state: State,
         local: Endpoint,
         peer: Endpoint,
-        conn_id: ConnectionId,
-        rec: Recorder,
-    ) -> TcpInner {
+        conn_id: u64,
+        app_owned: bool,
+    ) -> Flow {
         let cwnd = (cfg.initial_cwnd * cfg.mss) as f64;
-        TcpInner {
+        Flow {
+            cfg_id,
             state,
             local,
             peer,
@@ -292,8 +291,8 @@ impl TcpShared {
             srtt: None,
             rttvar: 0.0,
             rto: Duration::from_secs(1),
-            rto_gen: 0,
             rto_armed: false,
+            rto_deadline: SimTime::ZERO,
             consecutive_timeouts: 0,
             syn_retries_left: cfg.syn_retries,
             fin_queued: false,
@@ -305,65 +304,218 @@ impl TcpShared {
             ooo_bytes: 0,
             ts_recent: None,
             delack_pending: 0,
-            delack_gen: 0,
+            delack_deadline: SimTime::ZERO,
             peer_fin_seq: None,
             fin_received: false,
             app_blocked: false,
             connected_notified: false,
             closed_notified: false,
             stats: TcpConnStats::default(),
-            conn_id: conn_id.raw(),
+            conn_id,
+            events: None,
+            app_owned,
+            app_handles: 1,
+        }
+    }
+
+    fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    fn send_window(&self) -> u64 {
+        (self.cwnd as u64).min(self.peer_wnd)
+    }
+}
+
+fn my_wnd(flow: &Flow, cfg: &TcpConfig) -> u64 {
+    (cfg.recv_buf.saturating_sub(flow.ooo_bytes)) as u64
+}
+
+enum Action {
+    Send(TcpSegment),
+    Deliver(Bytes),
+    Connected,
+    Writable,
+    Closed(CloseReason),
+    ArmRto(Duration),
+    ArmDelack(Duration),
+}
+
+/// A port with a registered [`StreamAccept`] handler plus the flows it has
+/// accepted (kept for the life of the stack, mirroring the previous
+/// listener-owned connection table).
+struct ListenerEntry {
+    cfg_id: u16,
+    handler: Arc<dyn StreamAccept>,
+    /// Accepted flows keyed by peer endpoint.
+    conns: FxHashMap<u64, Handle<Flow>>,
+}
+
+/// Dense state tables behind the stack mutex.
+struct StackInner {
+    flows: Slab<Flow>,
+    /// Interned configs: flows store a `u16` id instead of a 96-byte copy.
+    configs: Vec<TcpConfig>,
+    /// `(local, peer)` pair → flow, for per-packet demux.
+    conn_index: FxHashMap<u128, Handle<Flow>>,
+    /// Listening ports keyed by [`ep_key`].
+    listeners: FxHashMap<u64, ListenerEntry>,
+}
+
+/// Per-network TCP state: every flow on the network lives in this one slab.
+///
+/// The stack is the [`PacketSink`] for every TCP port and the
+/// [`EventTarget`] for every TCP timer, so packets and timer events address
+/// flows through 8-byte handles/tokens — no per-flow `Arc`, no per-event
+/// allocation. Created lazily by [`Network::tcp_stack`]; the back-reference
+/// to the fabric is weak to avoid a retain cycle through the sink table.
+pub(crate) struct TcpStack {
+    sim: Sim,
+    rec: Recorder,
+    net: WeakNetwork,
+    self_weak: Weak<TcpStack>,
+    inner: Mutex<StackInner>,
+}
+
+impl TcpStack {
+    pub(crate) fn new(sim: Sim, net: WeakNetwork) -> Arc<TcpStack> {
+        let rec = sim.recorder().clone();
+        Arc::new_cyclic(|weak| TcpStack {
+            sim,
             rec,
-            cfg,
+            net,
+            self_weak: weak.clone(),
+            inner: Mutex::new(StackInner {
+                flows: Slab::new(),
+                configs: Vec::new(),
+                conn_index: FxHashMap::default(),
+                listeners: FxHashMap::default(),
+            }),
+        })
+    }
+
+    /// Interns `cfg`, returning its table id (worlds use a handful of
+    /// distinct configs across thousands of flows).
+    fn intern(configs: &mut Vec<TcpConfig>, cfg: TcpConfig) -> u16 {
+        if let Some(i) = configs.iter().position(|c| *c == cfg) {
+            return i as u16;
+        }
+        let id = u16::try_from(configs.len()).expect("too many distinct TcpConfigs");
+        configs.push(cfg);
+        id
+    }
+
+    /// Bumps the app-handle count for `h` (wrapper clone/construction).
+    fn retain_handle(&self, h: Handle<Flow>) {
+        let mut inner = self.inner.lock();
+        if let Some(flow) = inner.flows.get_mut(h) {
+            flow.app_handles += 1;
         }
     }
 
-    /// Runs `f` under the connection lock, then performs the produced
-    /// actions without holding it.
-    fn process<F>(self: &Arc<Self>, f: F)
-    where
-        F: FnOnce(&mut TcpInner, SimTime, &mut Vec<Action>),
-    {
-        let now = self.net.sim().now();
-        let mut actions = Vec::new();
-        {
+    /// Drops one app handle; the last handle of a connect-created flow kills
+    /// it in place (the slot is never reused, so outstanding timer tokens
+    /// and stray packets resolve to a dead `Closed` flow and no-op — this
+    /// mirrors the silent death of dropped client connections in the old
+    /// `Arc`-per-connection representation).
+    fn release_handle(&self, h: Handle<Flow>) {
+        // The handler Arc is dropped outside the lock: its destructor may
+        // release other connection handles and re-enter this mutex.
+        let _events = {
             let mut inner = self.inner.lock();
-            f(&mut inner, now, &mut actions);
-        }
-        self.perform(actions);
+            let Some(flow) = inner.flows.get_mut(h) else {
+                return;
+            };
+            flow.app_handles = flow.app_handles.saturating_sub(1);
+            if flow.app_handles > 0 || !flow.app_owned {
+                return;
+            }
+            flow.state = State::Closed;
+            flow.rto_armed = false;
+            flow.delack_pending = 0;
+            flow.send_q.clear();
+            flow.send_q_bytes = 0;
+            flow.sent.clear();
+            flow.lost.clear();
+            flow.ooo.clear();
+            flow.ooo_bytes = 0;
+            let key = pair_key(flow.local, flow.peer);
+            let events = flow.events.take();
+            inner.conn_index.remove(&key);
+            events
+        };
     }
 
-    fn perform(self: &Arc<Self>, actions: Vec<Action>) {
-        // Most batches are pure wire/timer work (segments out, RTO re-arm);
-        // only touch the handler registration — and build the `Connection`
-        // wrapper — when an action actually notifies the application.
-        let needs_events = actions.iter().any(|a| {
-            matches!(
-                a,
-                Action::Deliver(_) | Action::Connected | Action::Writable | Action::Closed(_)
-            )
-        });
-        let (events, conn) = if needs_events {
+    /// Builds an application-facing wrapper for `h`, bumping the handle
+    /// count. Must not be called with the stack lock held.
+    fn make_conn(self: &Arc<Self>, h: Handle<Flow>, id: u64, local: Endpoint, peer: Endpoint) -> TcpConn {
+        self.retain_handle(h);
+        TcpConn {
+            stack: self.clone(),
+            h,
+            id: ConnectionId::from_raw(id),
+            local,
+            peer,
+        }
+    }
+
+    /// Runs `f` on the flow under the stack lock, then performs the
+    /// produced actions without holding it.
+    fn process<F>(self: &Arc<Self>, h: Handle<Flow>, f: F)
+    where
+        F: FnOnce(&mut Flow, &TcpConfig, &Recorder, SimTime, &mut Vec<Action>),
+    {
+        let now = self.sim.now();
+        let mut actions = Vec::new();
+        let (local, peer, id, events) = {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            let Some(flow) = inner.flows.get_mut(h) else {
+                return;
+            };
+            let cfg = &inner.configs[flow.cfg_id as usize];
+            f(flow, cfg, &self.rec, now, &mut actions);
+            // Only clone the handler out when an action will actually
+            // notify the application.
+            let needs_events = actions.iter().any(|a| {
+                matches!(
+                    a,
+                    Action::Deliver(_) | Action::Connected | Action::Writable | Action::Closed(_)
+                )
+            });
             (
-                self.events.lock().clone(),
-                Some(Connection::Tcp(TcpConn {
-                    shared: self.clone(),
-                })),
+                flow.local,
+                flow.peer,
+                flow.conn_id,
+                if needs_events { flow.events.clone() } else { None },
             )
-        } else {
-            (None, None)
         };
+        if actions.is_empty() {
+            return;
+        }
+        // The wrapper exists only for callback scope; it is built and
+        // dropped outside the lock (its Drop re-enters the stack).
+        let conn = events
+            .as_ref()
+            .map(|_| Connection::Tcp(self.make_conn(h, id, local, peer)));
+        let mut net = None;
         for action in actions {
             match action {
                 Action::Send(seg) => {
-                    let (src, dst) = {
-                        let inner = self.inner.lock();
-                        (inner.local, inner.peer)
-                    };
-                    let payload_len = seg.payload.len();
-                    let pkt =
-                        Packet::new(src, dst, WireProtocol::Tcp, payload_len, PacketBody::Tcp(seg));
-                    self.net.send_packet(pkt);
+                    if net.is_none() {
+                        net = self.net.upgrade();
+                    }
+                    if let Some(net) = &net {
+                        let payload_len = seg.payload.len();
+                        let pkt = Packet::new(
+                            local,
+                            peer,
+                            WireProtocol::Tcp,
+                            payload_len,
+                            PacketBody::Tcp(seg),
+                        );
+                        net.send_packet(pkt);
+                    }
                 }
                 Action::Deliver(data) => {
                     if let (Some(ev), Some(conn)) = (&events, &conn) {
@@ -385,228 +537,333 @@ impl TcpShared {
                         ev.on_closed(conn, reason);
                     }
                 }
-                Action::ArmRto(delay, gen) => {
-                    let weak = Arc::downgrade(self);
-                    self.net.sim().schedule_in(delay, move |_| {
-                        if let Some(shared) = weak.upgrade() {
-                            shared.on_rto_fired(gen);
-                        }
-                    });
+                Action::ArmRto(delay) => {
+                    self.sim
+                        .schedule_target_in(delay, self.clone(), token(KIND_RTO, h));
                 }
-                Action::ArmDelack(delay, gen) => {
-                    let weak = Arc::downgrade(self);
-                    self.net.sim().schedule_in(delay, move |_| {
-                        if let Some(shared) = weak.upgrade() {
-                            shared.on_delack_fired(gen);
-                        }
-                    });
+                Action::ArmDelack(delay) => {
+                    self.sim
+                        .schedule_target_in(delay, self.clone(), token(KIND_DELACK, h));
                 }
             }
         }
     }
 
-    fn on_rto_fired(self: &Arc<Self>, gen: u64) {
-        self.process(|inner, now, out| {
-            if gen != inner.rto_gen || !inner.rto_armed || inner.state == State::Closed {
+    fn on_rto_fired(self: &Arc<Self>, h: Handle<Flow>) {
+        self.process(h, |flow, cfg, rec, now, out| {
+            // Deadline check replaces the old generation counter: every
+            // re-arm moves the deadline forward and schedules an event at
+            // exactly the new deadline, so an early firing is always stale.
+            if !flow.rto_armed || now < flow.rto_deadline || flow.state == State::Closed {
                 return;
             }
-            inner.rto_armed = false;
-            if inner.flight() == 0 {
+            flow.rto_armed = false;
+            if flow.flight() == 0 {
                 return;
             }
-            inner.stats.timeouts += 1;
-            inner.consecutive_timeouts += 1;
-            if inner.state == State::SynSent || inner.state == State::SynRcvd {
-                if inner.syn_retries_left == 0 {
-                    inner.state = State::Closed;
-                    if !inner.closed_notified {
-                        inner.closed_notified = true;
+            flow.stats.timeouts += 1;
+            flow.consecutive_timeouts += 1;
+            if flow.state == State::SynSent || flow.state == State::SynRcvd {
+                if flow.syn_retries_left == 0 {
+                    flow.state = State::Closed;
+                    if !flow.closed_notified {
+                        flow.closed_notified = true;
                         out.push(Action::Closed(CloseReason::Timeout));
                     }
                     return;
                 }
-                inner.syn_retries_left -= 1;
-            } else if inner.consecutive_timeouts > inner.cfg.max_consecutive_timeouts {
+                flow.syn_retries_left -= 1;
+            } else if flow.consecutive_timeouts > cfg.max_consecutive_timeouts {
                 // The peer is unreachable; give up like a real stack would.
-                inner.state = State::Closed;
-                if !inner.closed_notified {
-                    inner.closed_notified = true;
+                flow.state = State::Closed;
+                if !flow.closed_notified {
+                    flow.closed_notified = true;
                     out.push(Action::Closed(CloseReason::Timeout));
                 }
                 return;
             }
             // RFC 5681 timeout response.
-            let flight = inner.flight() as f64;
-            inner.ssthresh = (flight / 2.0).max((2 * inner.cfg.mss) as f64);
-            inner.cwnd = inner.cfg.mss as f64;
-            inner.in_recovery = true;
-            inner.recover = inner.snd_nxt;
-            inner.rto = (inner.rto * 2).min(inner.cfg.max_rto);
-            inner.rec.record(
+            let flight = flow.flight() as f64;
+            flow.ssthresh = (flight / 2.0).max((2 * cfg.mss) as f64);
+            flow.cwnd = cfg.mss as f64;
+            flow.in_recovery = true;
+            flow.recover = flow.snd_nxt;
+            flow.rto = (flow.rto * 2).min(cfg.max_rto);
+            rec.record(
                 now.as_nanos(),
                 EventKind::TcpRto {
-                    conn: inner.conn_id,
-                    rto_us: inner.rto.as_micros() as u64,
-                    consecutive: u64::from(inner.consecutive_timeouts),
+                    conn: flow.conn_id,
+                    rto_us: flow.rto.as_micros() as u64,
+                    consecutive: u64::from(flow.consecutive_timeouts),
                 },
             );
-            inner.rec.record(
+            rec.record(
                 now.as_nanos(),
                 EventKind::TcpCwnd {
-                    conn: inner.conn_id,
-                    cwnd: inner.cwnd,
-                    ssthresh: inner.ssthresh,
+                    conn: flow.conn_id,
+                    cwnd: flow.cwnd,
+                    ssthresh: flow.ssthresh,
                     cause: "rto",
                 },
             );
-            if inner.state == State::Established {
+            if flow.state == State::Established {
                 // Go-back-N style: everything unacknowledged is presumed
                 // lost; retransmission is paced by returning ACKs.
-                let unacked: Vec<u64> = inner.sent.keys().copied().collect();
-                inner.lost.extend(unacked);
-                resend_lost(inner, now, out);
+                let unacked: Vec<u64> = flow.sent.keys().copied().collect();
+                flow.lost.extend(unacked);
+                resend_lost(flow, cfg, rec, now, out);
             } else {
-                retransmit_first(inner, now, out);
+                retransmit_first(flow, cfg, rec, now, out);
             }
-            arm_rto(inner, out);
+            arm_rto(flow, now, out);
         });
     }
 
-    fn on_delack_fired(self: &Arc<Self>, gen: u64) {
-        self.process(|inner, now, out| {
-            if gen != inner.delack_gen || inner.delack_pending == 0 || inner.state == State::Closed
+    fn on_delack_fired(self: &Arc<Self>, h: Handle<Flow>) {
+        self.process(h, |flow, cfg, _rec, now, out| {
+            if flow.delack_pending == 0
+                || now < flow.delack_deadline
+                || flow.state == State::Closed
             {
                 return;
             }
-            inner.delack_pending = 0;
-            inner.delack_gen += 1;
-            out.push(Action::Send(pure_ack(inner, now)));
+            flow.delack_pending = 0;
+            out.push(Action::Send(pure_ack(flow, cfg, now)));
         });
     }
 
-    fn handle_segment(self: &Arc<Self>, seg: TcpSegment) {
-        self.process(|inner, now, out| match inner.state {
+    fn handle_segment(self: &Arc<Self>, h: Handle<Flow>, seg: TcpSegment) {
+        self.process(h, move |flow, cfg, rec, now, out| match flow.state {
             State::Closed => {
                 // Re-acknowledge a retransmitted FIN so the peer can finish.
                 if seg.flags.fin {
-                    out.push(Action::Send(pure_ack(inner, now)));
+                    out.push(Action::Send(pure_ack(flow, cfg, now)));
                 }
             }
             State::SynSent => {
                 if seg.flags.syn && seg.flags.ack && seg.ack >= 1 {
-                    complete_handshake_active(inner, &seg, now, out);
+                    complete_handshake_active(flow, cfg, &seg, now, out);
                 }
             }
             State::SynRcvd => {
                 if seg.flags.ack && seg.ack >= 1 {
-                    inner.state = State::Established;
-                    inner.snd_una = seg.ack.max(inner.snd_una);
-                    inner.sent.retain(|seq, _| *seq >= inner.snd_una);
-                    inner.peer_wnd = seg.wnd;
+                    flow.state = State::Established;
+                    flow.snd_una = seg.ack.max(flow.snd_una);
+                    flow.sent.retain(|seq, _| *seq >= flow.snd_una);
+                    flow.peer_wnd = seg.wnd;
                     // A completed handshake breaks any SYN timeout streak;
                     // without this reset the first post-handshake RTO would
                     // report `consecutive > 1` against a freshly measured
                     // RTO, which violates the doubling invariant the
                     // oracle checks.
-                    inner.consecutive_timeouts = 0;
-                    disarm_rto(inner);
-                    if !inner.connected_notified {
-                        inner.connected_notified = true;
+                    flow.consecutive_timeouts = 0;
+                    disarm_rto(flow);
+                    if !flow.connected_notified {
+                        flow.connected_notified = true;
                         out.push(Action::Connected);
                     }
                     // The final handshake ACK may carry data.
                     if !seg.payload.is_empty() || seg.flags.fin {
-                        receive_data(inner, seg, now, out);
+                        receive_data(flow, cfg, seg, now, out);
                     }
-                    try_send(inner, now, out);
+                    try_send(flow, cfg, now, out);
                 } else if seg.flags.syn && !seg.flags.ack {
                     // Duplicate SYN: retransmit SYN-ACK.
-                    retransmit_first(inner, now, out);
+                    retransmit_first(flow, cfg, rec, now, out);
                 }
             }
             State::Established => {
                 if seg.flags.ack {
-                    process_ack(inner, &seg, now, out);
-                    resend_lost(inner, now, out);
+                    process_ack(flow, cfg, rec, &seg, now, out);
+                    resend_lost(flow, cfg, rec, now, out);
                 }
                 if !seg.payload.is_empty() || seg.flags.fin {
-                    receive_data(inner, seg, now, out);
+                    receive_data(flow, cfg, seg, now, out);
                 }
-                try_send(inner, now, out);
-                maybe_close(inner, out);
+                try_send(flow, cfg, now, out);
+                maybe_close(flow, out);
             }
+        });
+    }
+
+    /// Demuxes an incoming segment: established flows by endpoint pair,
+    /// otherwise a listener performs a passive open.
+    fn dispatch(self: &Arc<Self>, src: Endpoint, dst: Endpoint, seg: TcpSegment) {
+        let known = self.inner.lock().conn_index.get(&pair_key(dst, src)).copied();
+        if let Some(h) = known {
+            self.handle_segment(h, seg);
+            return;
+        }
+        if !seg.flags.syn || seg.flags.ack {
+            return; // stray non-SYN for an unknown connection
+        }
+        // Passive open. The flow is fully registered (slab + demux index +
+        // listener table) before `on_accept` runs, but no packet or timer
+        // can observe it until the SYN-ACK below is processed.
+        let accepted = {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            let Some(entry) = inner.listeners.get(&ep_key(dst)) else {
+                return;
+            };
+            let handler = entry.handler.clone();
+            let cfg_id = entry.cfg_id;
+            let id = ConnectionId::fresh(&self.sim);
+            let cfg = &inner.configs[cfg_id as usize];
+            let flow = Flow::new(cfg_id, cfg, State::SynRcvd, dst, src, id.raw(), false);
+            let h = inner.flows.insert(flow);
+            inner.conn_index.insert(pair_key(dst, src), h);
+            inner
+                .listeners
+                .get_mut(&ep_key(dst))
+                .expect("listener entry just looked up")
+                .conns
+                .insert(ep_key(src), h);
+            (handler, h, id)
+        };
+        let (handler, h, id) = accepted;
+        let conn = Connection::Tcp(self.make_conn(h, id.raw(), dst, src));
+        let events = handler.on_accept(&conn);
+        {
+            let mut inner = self.inner.lock();
+            if let Some(flow) = inner.flows.get_mut(h) {
+                flow.events = Some(events);
+            }
+        }
+        self.process(h, move |flow, cfg, _rec, now, out| {
+            flow.rcv_nxt = seg.seq + 1;
+            flow.ts_recent = Some(seg.ts);
+            flow.peer_wnd = seg.wnd;
+            let synack = TcpSegment {
+                seq: 0,
+                ack: flow.rcv_nxt,
+                flags: SegFlags {
+                    syn: true,
+                    ack: true,
+                    fin: false,
+                },
+                wnd: my_wnd(flow, cfg),
+                ts: now,
+                ts_echo: flow.ts_recent,
+                holes: Vec::new(),
+                payload: Bytes::new(),
+            };
+            flow.sent.insert(
+                0,
+                SentSeg {
+                    payload: Bytes::new(),
+                    syn: true,
+                    fin: false,
+                    retransmitted: false,
+                    last_rexmit: None,
+                },
+            );
+            flow.snd_nxt = 1;
+            out.push(Action::Send(synack));
+            arm_rto(flow, now, out);
         });
     }
 }
 
+impl PacketSink for TcpStack {
+    fn on_packet(&self, _net: &Network, pkt: Packet) {
+        let Some(stack) = self.self_weak.upgrade() else {
+            return;
+        };
+        let PacketBody::Tcp(seg) = pkt.body else {
+            return;
+        };
+        stack.dispatch(pkt.src, pkt.dst, seg);
+    }
+}
+
+impl EventTarget for TcpStack {
+    fn fire(self: Arc<Self>, _sim: &Sim, token: u64) {
+        let kind = token >> TOKEN_KIND_SHIFT;
+        let idx = ((token >> TOKEN_IDX_SHIFT) & TOKEN_IDX_MASK) as u32;
+        let gen = token as u32;
+        let h = self.inner.lock().flows.handle_at(idx);
+        let Some(h) = h else { return };
+        if h.generation() != gen {
+            return;
+        }
+        match kind {
+            KIND_RTO => self.on_rto_fired(h),
+            KIND_DELACK => self.on_delack_fired(h),
+            _ => {}
+        }
+    }
+}
+
 fn complete_handshake_active(
-    inner: &mut TcpInner,
+    flow: &mut Flow,
+    cfg: &TcpConfig,
     seg: &TcpSegment,
     now: SimTime,
     out: &mut Vec<Action>,
 ) {
-    inner.state = State::Established;
-    inner.snd_una = seg.ack;
-    inner.sent.clear();
-    inner.rcv_nxt = seg.seq + 1;
-    inner.peer_wnd = seg.wnd;
+    flow.state = State::Established;
+    flow.snd_una = seg.ack;
+    flow.sent.clear();
+    flow.rcv_nxt = seg.seq + 1;
+    flow.peer_wnd = seg.wnd;
     // SYN timeout streaks do not carry into the established connection
     // (same reasoning as the SynRcvd transition).
-    inner.consecutive_timeouts = 0;
-    inner.ts_recent = Some(seg.ts);
+    flow.consecutive_timeouts = 0;
+    flow.ts_recent = Some(seg.ts);
     if let Some(echo) = seg.ts_echo {
-        update_rtt(inner, now, echo);
+        update_rtt(flow, cfg, now, echo);
     }
-    disarm_rto(inner);
-    inner.connected_notified = true;
+    disarm_rto(flow);
+    flow.connected_notified = true;
     out.push(Action::Connected);
     // Pure ACK completes the handshake; data may follow immediately.
-    out.push(Action::Send(pure_ack(inner, now)));
-    try_send(inner, now, out);
+    out.push(Action::Send(pure_ack(flow, cfg, now)));
+    try_send(flow, cfg, now, out);
 }
 
-fn update_rtt(inner: &mut TcpInner, now: SimTime, echo: SimTime) {
+fn update_rtt(flow: &mut Flow, cfg: &TcpConfig, now: SimTime, echo: SimTime) {
     let sample = now.duration_since(echo).as_secs_f64();
-    match inner.srtt {
+    match flow.srtt {
         None => {
-            inner.srtt = Some(sample);
-            inner.rttvar = sample / 2.0;
+            flow.srtt = Some(sample);
+            flow.rttvar = sample / 2.0;
         }
         Some(srtt) => {
             let err = (sample - srtt).abs();
-            inner.rttvar = 0.75 * inner.rttvar + 0.25 * err;
-            inner.srtt = Some(0.875 * srtt + 0.125 * sample);
+            flow.rttvar = 0.75 * flow.rttvar + 0.25 * err;
+            flow.srtt = Some(0.875 * srtt + 0.125 * sample);
         }
     }
-    let rto = inner.srtt.unwrap_or(1.0) + 4.0 * inner.rttvar;
-    inner.rto = Duration::from_secs_f64(rto)
-        .max(inner.cfg.min_rto)
-        .min(inner.cfg.max_rto);
+    let rto = flow.srtt.unwrap_or(1.0) + 4.0 * flow.rttvar;
+    flow.rto = Duration::from_secs_f64(rto)
+        .max(cfg.min_rto)
+        .min(cfg.max_rto);
 }
 
-fn pure_ack(inner: &TcpInner, now: SimTime) -> TcpSegment {
+fn pure_ack(flow: &Flow, cfg: &TcpConfig, now: SimTime) -> TcpSegment {
     TcpSegment {
-        seq: inner.snd_nxt,
-        ack: inner.rcv_nxt,
+        seq: flow.snd_nxt,
+        ack: flow.rcv_nxt,
         flags: SegFlags {
             syn: false,
             ack: true,
             fin: false,
         },
-        wnd: inner.my_wnd(),
+        wnd: my_wnd(flow, cfg),
         ts: now,
-        ts_echo: inner.ts_recent,
-        holes: compute_holes(inner),
+        ts_echo: flow.ts_recent,
+        holes: compute_holes(flow),
         payload: Bytes::new(),
     }
 }
 
 /// The receiver's missing `[from, to)` byte ranges below its highest
 /// buffered out-of-order segment (capped at 16).
-fn compute_holes(inner: &TcpInner) -> Vec<(u64, u64)> {
+fn compute_holes(flow: &Flow) -> Vec<(u64, u64)> {
     let mut holes = Vec::new();
-    let mut expect = inner.rcv_nxt;
-    for (&seq, data) in &inner.ooo {
+    let mut expect = flow.rcv_nxt;
+    for (&seq, data) in &flow.ooo {
         if seq > expect {
             holes.push((expect, seq));
             if holes.len() == 16 {
@@ -618,23 +875,29 @@ fn compute_holes(inner: &TcpInner) -> Vec<(u64, u64)> {
     holes
 }
 
-fn arm_rto(inner: &mut TcpInner, out: &mut Vec<Action>) {
-    inner.rto_gen += 1;
-    inner.rto_armed = true;
-    out.push(Action::ArmRto(inner.rto, inner.rto_gen));
+fn arm_rto(flow: &mut Flow, now: SimTime, out: &mut Vec<Action>) {
+    flow.rto_armed = true;
+    flow.rto_deadline = now + flow.rto;
+    out.push(Action::ArmRto(flow.rto));
 }
 
-fn disarm_rto(inner: &mut TcpInner) {
-    inner.rto_gen += 1;
-    inner.rto_armed = false;
+fn disarm_rto(flow: &mut Flow) {
+    flow.rto_armed = false;
 }
 
-fn retransmit_first(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
-    let wnd = inner.my_wnd();
-    let rcv_nxt = inner.rcv_nxt;
-    let ts_echo = inner.ts_recent;
-    let is_syn_sent = inner.state == State::SynSent;
-    let Some((&seq, seg)) = inner.sent.iter_mut().next() else {
+fn retransmit_first(
+    flow: &mut Flow,
+    cfg: &TcpConfig,
+    rec: &Recorder,
+    now: SimTime,
+    out: &mut Vec<Action>,
+) {
+    let wnd = my_wnd(flow, cfg);
+    let rcv_nxt = flow.rcv_nxt;
+    let ts_echo = flow.ts_recent;
+    let is_syn_sent = flow.state == State::SynSent;
+    let conn_id = flow.conn_id;
+    let Some((&seq, seg)) = flow.sent.iter_mut().next() else {
         return;
     };
     seg.retransmitted = true;
@@ -652,11 +915,11 @@ fn retransmit_first(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
         holes: Vec::new(),
         payload: seg.payload.clone(),
     };
-    inner.stats.retransmits += 1;
-    inner.rec.record(
+    flow.stats.retransmits += 1;
+    rec.record(
         now.as_nanos(),
         EventKind::TcpRetransmit {
-            conn: inner.conn_id,
+            conn: conn_id,
             seq,
             fast: false,
         },
@@ -664,108 +927,121 @@ fn retransmit_first(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
     out.push(Action::Send(segment));
 }
 
-fn process_ack(inner: &mut TcpInner, seg: &TcpSegment, now: SimTime, out: &mut Vec<Action>) {
-    inner.peer_wnd = seg.wnd;
-    note_holes(inner, &seg.holes, now);
-    if seg.ack > inner.snd_una {
-        let newly = seg.ack - inner.snd_una;
-        inner.snd_una = seg.ack;
-        inner.consecutive_timeouts = 0;
+fn process_ack(
+    flow: &mut Flow,
+    cfg: &TcpConfig,
+    rec: &Recorder,
+    seg: &TcpSegment,
+    now: SimTime,
+    out: &mut Vec<Action>,
+) {
+    flow.peer_wnd = seg.wnd;
+    note_holes(flow, cfg, rec, &seg.holes, now);
+    if seg.ack > flow.snd_una {
+        let newly = seg.ack - flow.snd_una;
+        flow.snd_una = seg.ack;
+        flow.consecutive_timeouts = 0;
         // Remove fully acknowledged segments.
-        let still_unacked = inner.sent.split_off(&seg.ack);
-        let acked: u64 = inner
+        let still_unacked = flow.sent.split_off(&seg.ack);
+        let acked: u64 = flow
             .sent
             .values()
             .map(|s| s.payload.len() as u64)
             .sum();
-        inner.sent = still_unacked;
-        inner.unacked_bytes = inner.unacked_bytes.saturating_sub(acked as usize);
-        inner.stats.bytes_acked += acked;
+        flow.sent = still_unacked;
+        flow.unacked_bytes = flow.unacked_bytes.saturating_sub(acked as usize);
+        flow.stats.bytes_acked += acked;
         if let Some(echo) = seg.ts_echo {
-            update_rtt(inner, now, echo);
+            update_rtt(flow, cfg, now, echo);
         }
-        if inner.fin_sent && seg.ack > inner.fin_seq {
-            inner.fin_acked = true;
+        if flow.fin_sent && seg.ack > flow.fin_seq {
+            flow.fin_acked = true;
         }
         // Drop stale loss markers.
-        let cleared: Vec<u64> = inner.lost.range(..seg.ack).copied().collect();
+        let cleared: Vec<u64> = flow.lost.range(..seg.ack).copied().collect();
         for s in cleared {
-            inner.lost.remove(&s);
+            flow.lost.remove(&s);
         }
-        if inner.in_recovery && inner.snd_una >= inner.recover {
-            inner.in_recovery = false;
-            inner.cwnd = inner.cwnd.min(inner.ssthresh.max((2 * inner.cfg.mss) as f64));
-            inner.rec.record(
+        if flow.in_recovery && flow.snd_una >= flow.recover {
+            flow.in_recovery = false;
+            flow.cwnd = flow.cwnd.min(flow.ssthresh.max((2 * cfg.mss) as f64));
+            rec.record(
                 now.as_nanos(),
                 EventKind::TcpCwnd {
-                    conn: inner.conn_id,
-                    cwnd: inner.cwnd,
-                    ssthresh: inner.ssthresh,
+                    conn: flow.conn_id,
+                    cwnd: flow.cwnd,
+                    ssthresh: flow.ssthresh,
                     cause: "recovery_exit",
                 },
             );
         }
-        let mss = inner.cfg.mss as f64;
-        if inner.cwnd < inner.ssthresh {
+        let mss = cfg.mss as f64;
+        if flow.cwnd < flow.ssthresh {
             // Slow start with appropriate byte counting.
-            inner.cwnd += (newly as f64).min(mss);
+            flow.cwnd += (newly as f64).min(mss);
         } else {
-            inner.cwnd += mss * mss / inner.cwnd;
+            flow.cwnd += mss * mss / flow.cwnd;
         }
-        if inner.flight() > 0 {
-            arm_rto(inner, out);
+        if flow.flight() > 0 {
+            arm_rto(flow, now, out);
         } else {
-            disarm_rto(inner);
+            disarm_rto(flow);
         }
-        if inner.cfg.ack_progress_events && acked > 0 {
-            inner.app_blocked = false;
+        if cfg.ack_progress_events && acked > 0 {
+            flow.app_blocked = false;
             out.push(Action::Writable);
         } else {
-            maybe_writable(inner, out);
+            maybe_writable(flow, cfg, out);
         }
     }
 }
 
 /// Registers receiver-reported holes as lost segments (once per ~RTT per
 /// segment) and reacts with one multiplicative decrease per loss episode.
-fn note_holes(inner: &mut TcpInner, holes: &[(u64, u64)], now: SimTime) {
+fn note_holes(
+    flow: &mut Flow,
+    cfg: &TcpConfig,
+    rec: &Recorder,
+    holes: &[(u64, u64)],
+    now: SimTime,
+) {
     if holes.is_empty() {
         return;
     }
-    let srtt = inner.srtt.unwrap_or(0.1);
+    let srtt = flow.srtt.unwrap_or(0.1);
     let reinsert_after = Duration::from_secs_f64((srtt * 1.2).max(0.005));
     let mut fresh_loss = false;
     for &(from, to) in holes {
-        let seqs: Vec<u64> = inner.sent.range(from..to).map(|(s, _)| *s).collect();
+        let seqs: Vec<u64> = flow.sent.range(from..to).map(|(s, _)| *s).collect();
         for seq in seqs {
-            if seq < inner.snd_una || inner.lost.contains(&seq) {
+            if seq < flow.snd_una || flow.lost.contains(&seq) {
                 continue;
             }
-            let seg = inner.sent.get(&seq).expect("seq from range");
+            let seg = flow.sent.get(&seq).expect("seq from range");
             let eligible = seg
                 .last_rexmit
                 .is_none_or(|t| now.duration_since(t) >= reinsert_after);
             if eligible {
-                inner.lost.insert(seq);
+                flow.lost.insert(seq);
                 if seg.last_rexmit.is_none() {
                     fresh_loss = true;
                 }
             }
         }
     }
-    if fresh_loss && !inner.in_recovery && !inner.cfg.buggy_no_fast_recovery {
-        inner.in_recovery = true;
-        inner.recover = inner.snd_nxt;
-        let flight = inner.flight() as f64;
-        inner.ssthresh = (flight / 2.0).max((2 * inner.cfg.mss) as f64);
-        inner.cwnd = inner.ssthresh;
-        inner.stats.fast_recoveries += 1;
-        inner.rec.record(
+    if fresh_loss && !flow.in_recovery && !cfg.buggy_no_fast_recovery {
+        flow.in_recovery = true;
+        flow.recover = flow.snd_nxt;
+        let flight = flow.flight() as f64;
+        flow.ssthresh = (flight / 2.0).max((2 * cfg.mss) as f64);
+        flow.cwnd = flow.ssthresh;
+        flow.stats.fast_recoveries += 1;
+        rec.record(
             now.as_nanos(),
             EventKind::TcpCwnd {
-                conn: inner.conn_id,
-                cwnd: inner.cwnd,
-                ssthresh: inner.ssthresh,
+                conn: flow.conn_id,
+                cwnd: flow.cwnd,
+                ssthresh: flow.ssthresh,
                 cause: "fast_recovery",
             },
         );
@@ -775,21 +1051,28 @@ fn note_holes(inner: &mut TcpInner, holes: &[(u64, u64)], now: SimTime) {
 /// Retransmits queued-lost segments, paced by the congestion window: each
 /// invocation (i.e. each returning ACK) may resend up to `cwnd/4` worth of
 /// segments, so recovery self-clocks and ramps with slow start after an RTO.
-fn resend_lost(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
-    let budget = ((inner.cwnd / inner.cfg.mss as f64 / 4.0) as usize).max(1);
+fn resend_lost(
+    flow: &mut Flow,
+    cfg: &TcpConfig,
+    rec: &Recorder,
+    now: SimTime,
+    out: &mut Vec<Action>,
+) {
+    let budget = ((flow.cwnd / cfg.mss as f64 / 4.0) as usize).max(1);
     let mut sent = 0;
     while sent < budget {
-        let Some(&seq) = inner.lost.iter().next() else {
+        let Some(&seq) = flow.lost.iter().next() else {
             break;
         };
-        inner.lost.remove(&seq);
-        if seq < inner.snd_una {
+        flow.lost.remove(&seq);
+        if seq < flow.snd_una {
             continue;
         }
-        let wnd = inner.my_wnd();
-        let rcv_nxt = inner.rcv_nxt;
-        let ts_echo = inner.ts_recent;
-        let Some(seg) = inner.sent.get_mut(&seq) else {
+        let wnd = my_wnd(flow, cfg);
+        let rcv_nxt = flow.rcv_nxt;
+        let ts_echo = flow.ts_recent;
+        let conn_id = flow.conn_id;
+        let Some(seg) = flow.sent.get_mut(&seq) else {
             continue;
         };
         seg.retransmitted = true;
@@ -808,11 +1091,11 @@ fn resend_lost(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
             holes: Vec::new(),
             payload: seg.payload.clone(),
         };
-        inner.stats.retransmits += 1;
-        inner.rec.record(
+        flow.stats.retransmits += 1;
+        rec.record(
             now.as_nanos(),
             EventKind::TcpRetransmit {
-                conn: inner.conn_id,
+                conn: conn_id,
                 seq,
                 fast: true,
             },
@@ -822,95 +1105,108 @@ fn resend_lost(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
     }
 }
 
-fn receive_data(inner: &mut TcpInner, seg: TcpSegment, now: SimTime, out: &mut Vec<Action>) {
+fn receive_data(
+    flow: &mut Flow,
+    cfg: &TcpConfig,
+    seg: TcpSegment,
+    now: SimTime,
+    out: &mut Vec<Action>,
+) {
     let plen = seg.payload.len();
     if seg.flags.fin {
-        inner.peer_fin_seq = Some(seg.seq + plen as u64);
+        flow.peer_fin_seq = Some(seg.seq + plen as u64);
     }
     let seq = seg.seq;
     if plen > 0 {
-        if seq == inner.rcv_nxt {
-            inner.ts_recent = Some(seg.ts);
-            inner.rcv_nxt += plen as u64;
-            inner.stats.bytes_delivered += plen as u64;
+        if seq == flow.rcv_nxt {
+            flow.ts_recent = Some(seg.ts);
+            flow.rcv_nxt += plen as u64;
+            flow.stats.bytes_delivered += plen as u64;
             // The segment is consumed here, so its payload handle moves
             // straight into the delivery without a refcount round-trip.
             out.push(Action::Deliver(seg.payload));
             // Drain any now-contiguous out-of-order data.
-            while let Some(entry) = inner.ooo.first_entry() {
-                if *entry.key() != inner.rcv_nxt {
+            while let Some(entry) = flow.ooo.first_entry() {
+                if *entry.key() != flow.rcv_nxt {
                     break;
                 }
                 let data = entry.remove();
-                inner.ooo_bytes -= data.len();
-                inner.rcv_nxt += data.len() as u64;
-                inner.stats.bytes_delivered += data.len() as u64;
+                flow.ooo_bytes -= data.len();
+                flow.rcv_nxt += data.len() as u64;
+                flow.stats.bytes_delivered += data.len() as u64;
                 out.push(Action::Deliver(data));
             }
-            schedule_ack(inner, now, out, false);
-        } else if seq > inner.rcv_nxt {
+            schedule_ack(flow, cfg, now, out, false);
+        } else if seq > flow.rcv_nxt {
             // Out of order: buffer if the receive buffer allows, dup-ACK
             // immediately either way.
-            if !inner.ooo.contains_key(&seq) && inner.ooo_bytes + plen <= inner.cfg.recv_buf {
-                inner.ooo_bytes += plen;
-                inner.ooo.insert(seq, seg.payload);
+            if !flow.ooo.contains_key(&seq) && flow.ooo_bytes + plen <= cfg.recv_buf {
+                flow.ooo_bytes += plen;
+                flow.ooo.insert(seq, seg.payload);
             }
-            schedule_ack(inner, now, out, true);
+            schedule_ack(flow, cfg, now, out, true);
         } else {
             // Duplicate of already-delivered data.
-            schedule_ack(inner, now, out, true);
+            schedule_ack(flow, cfg, now, out, true);
         }
     }
-    if let Some(fin_seq) = inner.peer_fin_seq {
-        if inner.rcv_nxt == fin_seq && !inner.fin_received {
-            inner.fin_received = true;
-            inner.rcv_nxt += 1;
-            schedule_ack(inner, now, out, true);
+    if let Some(fin_seq) = flow.peer_fin_seq {
+        if flow.rcv_nxt == fin_seq && !flow.fin_received {
+            flow.fin_received = true;
+            flow.rcv_nxt += 1;
+            schedule_ack(flow, cfg, now, out, true);
         }
     }
 }
 
-fn schedule_ack(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>, immediate: bool) {
-    if immediate || inner.delack_pending >= 1 {
-        inner.delack_pending = 0;
-        inner.delack_gen += 1;
-        out.push(Action::Send(pure_ack(inner, now)));
+fn schedule_ack(
+    flow: &mut Flow,
+    cfg: &TcpConfig,
+    now: SimTime,
+    out: &mut Vec<Action>,
+    immediate: bool,
+) {
+    if immediate || flow.delack_pending >= 1 {
+        // Clearing the pending count cancels any outstanding delack timer:
+        // it fires, sees `delack_pending == 0`, and no-ops.
+        flow.delack_pending = 0;
+        out.push(Action::Send(pure_ack(flow, cfg, now)));
     } else {
-        inner.delack_pending += 1;
-        inner.delack_gen += 1;
-        out.push(Action::ArmDelack(inner.cfg.delack_timeout, inner.delack_gen));
+        flow.delack_pending += 1;
+        flow.delack_deadline = now + cfg.delack_timeout;
+        out.push(Action::ArmDelack(cfg.delack_timeout));
     }
 }
 
-fn try_send(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
-    if inner.state != State::Established {
+fn try_send(flow: &mut Flow, cfg: &TcpConfig, now: SimTime, out: &mut Vec<Action>) {
+    if flow.state != State::Established {
         return;
     }
     loop {
-        let wnd = inner.send_window();
-        if inner.flight() >= wnd {
+        let wnd = flow.send_window();
+        if flow.flight() >= wnd {
             break;
         }
-        if inner.send_q.is_empty() {
-            if inner.fin_queued && !inner.fin_sent {
+        if flow.send_q.is_empty() {
+            if flow.fin_queued && !flow.fin_sent {
                 let seg = TcpSegment {
-                    seq: inner.snd_nxt,
-                    ack: inner.rcv_nxt,
+                    seq: flow.snd_nxt,
+                    ack: flow.rcv_nxt,
                     flags: SegFlags {
                         syn: false,
                         ack: true,
                         fin: true,
                     },
-                    wnd: inner.my_wnd(),
+                    wnd: my_wnd(flow, cfg),
                     ts: now,
-                    ts_echo: inner.ts_recent,
+                    ts_echo: flow.ts_recent,
                     holes: Vec::new(),
                     payload: Bytes::new(),
                 };
-                inner.fin_seq = inner.snd_nxt;
-                inner.fin_sent = true;
-                inner.sent.insert(
-                    inner.snd_nxt,
+                flow.fin_seq = flow.snd_nxt;
+                flow.fin_sent = true;
+                flow.sent.insert(
+                    flow.snd_nxt,
                     SentSeg {
                         payload: Bytes::new(),
                         syn: false,
@@ -919,34 +1215,34 @@ fn try_send(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
                         last_rexmit: None,
                     },
                 );
-                inner.snd_nxt += 1;
+                flow.snd_nxt += 1;
                 out.push(Action::Send(seg));
             }
             break;
         }
-        let head = inner.send_q.front_mut().expect("non-empty send queue");
-        let take = head.len().min(inner.cfg.mss);
+        let head = flow.send_q.front_mut().expect("non-empty send queue");
+        let take = head.len().min(cfg.mss);
         let payload = head.split_to(take);
         if head.is_empty() {
-            inner.send_q.pop_front();
+            flow.send_q.pop_front();
         }
-        inner.send_q_bytes -= take;
+        flow.send_q_bytes -= take;
         let seg = TcpSegment {
-            seq: inner.snd_nxt,
-            ack: inner.rcv_nxt,
+            seq: flow.snd_nxt,
+            ack: flow.rcv_nxt,
             flags: SegFlags {
                 syn: false,
                 ack: true,
                 fin: false,
             },
-            wnd: inner.my_wnd(),
+            wnd: my_wnd(flow, cfg),
             ts: now,
-            ts_echo: inner.ts_recent,
+            ts_echo: flow.ts_recent,
             holes: Vec::new(),
             payload: payload.clone(),
         };
-        inner.sent.insert(
-            inner.snd_nxt,
+        flow.sent.insert(
+            flow.snd_nxt,
             SentSeg {
                 payload,
                 syn: false,
@@ -955,56 +1251,84 @@ fn try_send(inner: &mut TcpInner, now: SimTime, out: &mut Vec<Action>) {
                 last_rexmit: None,
             },
         );
-        inner.snd_nxt += take as u64;
+        flow.snd_nxt += take as u64;
         out.push(Action::Send(seg));
     }
-    if inner.flight() > 0 && !inner.rto_armed {
-        arm_rto(inner, out);
+    if flow.flight() > 0 && !flow.rto_armed {
+        arm_rto(flow, now, out);
     }
 }
 
-fn maybe_writable(inner: &mut TcpInner, out: &mut Vec<Action>) {
+fn maybe_writable(flow: &mut Flow, cfg: &TcpConfig, out: &mut Vec<Action>) {
     // `unacked_bytes` counts everything accepted but not yet acknowledged
     // (queued + in flight), i.e. the occupied send buffer.
-    if inner.app_blocked
-        && inner.cfg.send_buf.saturating_sub(inner.unacked_bytes) >= inner.cfg.mss
-    {
-        inner.app_blocked = false;
+    if flow.app_blocked && cfg.send_buf.saturating_sub(flow.unacked_bytes) >= cfg.mss {
+        flow.app_blocked = false;
         out.push(Action::Writable);
     }
 }
 
-fn maybe_close(inner: &mut TcpInner, out: &mut Vec<Action>) {
-    if inner.closed_notified || inner.state == State::Closed {
+fn maybe_close(flow: &mut Flow, out: &mut Vec<Action>) {
+    if flow.closed_notified || flow.state == State::Closed {
         return;
     }
-    let local_done = !inner.fin_queued || inner.fin_acked;
-    if inner.fin_received && local_done {
-        inner.state = State::Closed;
-        inner.closed_notified = true;
-        disarm_rto(inner);
+    let local_done = !flow.fin_queued || flow.fin_acked;
+    if flow.fin_received && local_done {
+        flow.state = State::Closed;
+        flow.closed_notified = true;
+        disarm_rto(flow);
         out.push(Action::Closed(CloseReason::Normal));
-    } else if inner.fin_queued && inner.fin_acked && !inner.fin_received {
+    } else if flow.fin_queued && flow.fin_acked && !flow.fin_received {
         // We initiated and the peer acknowledged; linger until the peer's
         // FIN or just report closure (simplified half-close).
-        inner.state = State::Closed;
-        inner.closed_notified = true;
-        disarm_rto(inner);
+        flow.state = State::Closed;
+        flow.closed_notified = true;
+        disarm_rto(flow);
         out.push(Action::Closed(CloseReason::Normal));
     }
 }
 
-struct ConnSink {
-    shared: Weak<TcpShared>,
+/// A simulated TCP connection handle.
+///
+/// Internally an 8-byte slab handle plus cached immutable endpoints; clones
+/// refer to the same flow. The last application handle of a connect-created
+/// flow kills the flow in place when dropped.
+pub struct TcpConn {
+    stack: Arc<TcpStack>,
+    h: Handle<Flow>,
+    id: ConnectionId,
+    local: Endpoint,
+    peer: Endpoint,
 }
 
-impl PacketSink for ConnSink {
-    fn on_packet(&self, _net: &Network, pkt: Packet) {
-        if let Some(shared) = self.shared.upgrade() {
-            if let PacketBody::Tcp(seg) = pkt.body {
-                shared.handle_segment(seg);
-            }
+impl Clone for TcpConn {
+    fn clone(&self) -> Self {
+        self.stack.retain_handle(self.h);
+        TcpConn {
+            stack: self.stack.clone(),
+            h: self.h,
+            id: self.id,
+            local: self.local,
+            peer: self.peer,
         }
+    }
+}
+
+impl Drop for TcpConn {
+    fn drop(&mut self) {
+        self.stack.release_handle(self.h);
+    }
+}
+
+impl fmt::Debug for TcpConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.stack.inner.lock().flows.get(self.h).map(|fl| fl.state);
+        f.debug_struct("TcpConn")
+            .field("id", &self.id)
+            .field("local", &self.local)
+            .field("peer", &self.peer)
+            .field("state", &state)
+            .finish()
     }
 }
 
@@ -1025,28 +1349,29 @@ impl TcpConn {
         cfg: TcpConfig,
         events: Arc<dyn StreamEvents>,
     ) -> Result<TcpConn, BindError> {
-        let port = net.alloc_ephemeral_port(node);
+        let stack = net.tcp_stack();
+        let Some(port) = net.alloc_ephemeral_port(node, WireProtocol::Tcp) else {
+            return Err(BindError {
+                endpoint: Endpoint::new(node, 0),
+                protocol: WireProtocol::Tcp,
+            });
+        };
         let local = Endpoint::new(node, port);
         let id = ConnectionId::fresh(net.sim());
-        let shared = Arc::new(TcpShared {
-            id,
-            net: net.clone(),
-            inner: Mutex::new(TcpShared::new_inner(
-                cfg,
-                State::SynSent,
-                local,
-                dst,
-                id,
-                net.sim().recorder().clone(),
-            )),
-            events: Mutex::new(Some(events)),
-        });
-        let sink = Arc::new(ConnSink {
-            shared: Arc::downgrade(&shared),
-        });
-        net.bind(node, WireProtocol::Tcp, port, sink)?;
+        net.bind(node, WireProtocol::Tcp, port, stack.clone())?;
+        let h = {
+            let mut guard = stack.inner.lock();
+            let inner = &mut *guard;
+            let cfg_id = TcpStack::intern(&mut inner.configs, cfg);
+            let cfg = &inner.configs[cfg_id as usize];
+            let mut flow = Flow::new(cfg_id, cfg, State::SynSent, local, dst, id.raw(), true);
+            flow.events = Some(events);
+            let h = inner.flows.insert(flow);
+            inner.conn_index.insert(pair_key(local, dst), h);
+            h
+        };
         // Send SYN.
-        shared.process(|inner, now, out| {
+        stack.process(h, |flow, cfg, _rec, now, out| {
             let seg = TcpSegment {
                 seq: 0,
                 ack: 0,
@@ -1055,13 +1380,13 @@ impl TcpConn {
                     ack: false,
                     fin: false,
                 },
-                wnd: inner.my_wnd(),
+                wnd: my_wnd(flow, cfg),
                 ts: now,
                 ts_echo: None,
                 holes: Vec::new(),
                 payload: Bytes::new(),
             };
-            inner.sent.insert(
+            flow.sent.insert(
                 0,
                 SentSeg {
                     payload: Bytes::new(),
@@ -1071,56 +1396,67 @@ impl TcpConn {
                     last_rexmit: None,
                 },
             );
-            inner.snd_nxt = 1;
+            flow.snd_nxt = 1;
             out.push(Action::Send(seg));
-            arm_rto(inner, out);
+            arm_rto(flow, now, out);
         });
-        Ok(TcpConn { shared })
+        Ok(TcpConn {
+            stack,
+            h,
+            id,
+            local,
+            peer: dst,
+        })
     }
 
     /// The connection id.
     #[must_use]
     pub fn id(&self) -> ConnectionId {
-        self.shared.id
+        self.id
     }
 
     /// Local endpoint.
     #[must_use]
     pub fn local(&self) -> Endpoint {
-        self.shared.inner.lock().local
+        self.local
     }
 
     /// Remote endpoint.
     #[must_use]
     pub fn peer(&self) -> Endpoint {
-        self.shared.inner.lock().peer
+        self.peer
     }
 
     /// Whether the handshake completed and the connection is open.
     #[must_use]
     pub fn is_established(&self) -> bool {
-        self.shared.inner.lock().state == State::Established
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .is_some_and(|f| f.state == State::Established)
     }
 
     /// Appends bytes to the send buffer; returns how many were accepted.
     pub fn send(&self, data: Bytes) -> usize {
         let mut accepted = 0;
-        self.shared.process(|inner, now, out| {
-            if inner.state == State::Closed || inner.fin_queued {
+        self.stack.process(self.h, |flow, cfg, _rec, now, out| {
+            if flow.state == State::Closed || flow.fin_queued {
                 return;
             }
-            let space = inner.cfg.send_buf.saturating_sub(inner.unacked_bytes);
+            let space = cfg.send_buf.saturating_sub(flow.unacked_bytes);
             let take = space.min(data.len());
             if take < data.len() {
-                inner.app_blocked = true;
+                flow.app_blocked = true;
             }
             if take > 0 {
                 let chunk = data.slice(0..take);
-                inner.send_q_bytes += take;
-                inner.unacked_bytes += take;
-                inner.stats.bytes_sent += take as u64;
-                inner.send_q.push_back(chunk);
-                try_send(inner, now, out);
+                flow.send_q_bytes += take;
+                flow.unacked_bytes += take;
+                flow.stats.bytes_sent += take as u64;
+                flow.send_q.push_back(chunk);
+                try_send(flow, cfg, now, out);
             }
             accepted = take;
         });
@@ -1130,148 +1466,98 @@ impl TcpConn {
     /// Free space in the send buffer.
     #[must_use]
     pub fn free_send_buffer(&self) -> usize {
-        let inner = self.shared.inner.lock();
-        inner.cfg.send_buf.saturating_sub(inner.unacked_bytes)
+        let mut guard = self.stack.inner.lock();
+        let inner = &mut *guard;
+        match inner.flows.get(self.h) {
+            Some(flow) => {
+                let cfg = &inner.configs[flow.cfg_id as usize];
+                cfg.send_buf.saturating_sub(flow.unacked_bytes)
+            }
+            None => 0,
+        }
     }
 
     /// Bytes accepted but not yet acknowledged by the peer (queued + in
     /// flight).
     #[must_use]
     pub fn unacked_bytes(&self) -> usize {
-        self.shared.inner.lock().unacked_bytes
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .map_or(0, |f| f.unacked_bytes)
     }
 
     /// Cumulative payload bytes acknowledged by the peer.
     #[must_use]
     pub fn acked_bytes(&self) -> u64 {
-        self.shared.inner.lock().stats.bytes_acked
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .map_or(0, |f| f.stats.bytes_acked)
     }
 
     /// Smoothed RTT estimate, if any ACK carried a timestamp echo yet.
     #[must_use]
     pub fn rtt_estimate(&self) -> Option<Duration> {
-        self.shared.inner.lock().srtt.map(Duration::from_secs_f64)
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .and_then(|f| f.srtt)
+            .map(Duration::from_secs_f64)
     }
 
     /// Orderly close: a FIN is sent after all buffered data.
     pub fn close(&self) {
-        self.shared.process(|inner, now, out| {
-            if inner.fin_queued || inner.state == State::Closed {
+        self.stack.process(self.h, |flow, cfg, _rec, now, out| {
+            if flow.fin_queued || flow.state == State::Closed {
                 return;
             }
-            inner.fin_queued = true;
-            try_send(inner, now, out);
+            flow.fin_queued = true;
+            try_send(flow, cfg, now, out);
         });
     }
 
     /// Per-connection counters.
     #[must_use]
     pub fn stats(&self) -> TcpConnStats {
-        self.shared.inner.lock().stats
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .map_or_else(TcpConnStats::default, |f| f.stats)
     }
 
     /// Current congestion window in bytes (diagnostics).
     #[must_use]
     pub fn cwnd(&self) -> f64 {
-        self.shared.inner.lock().cwnd
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .map_or(0.0, |f| f.cwnd)
     }
-}
-
-struct ListenerShared {
-    net: Network,
-    local: Endpoint,
-    cfg: TcpConfig,
-    handler: Arc<dyn StreamAccept>,
-    conns: Mutex<std::collections::HashMap<Endpoint, Arc<TcpShared>>>,
 }
 
 /// A TCP listening socket that accepts incoming connections.
 #[derive(Clone)]
 pub struct TcpListener {
-    shared: Arc<ListenerShared>,
+    stack: Arc<TcpStack>,
+    local: Endpoint,
 }
 
 impl fmt::Debug for TcpListener {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TcpListener")
-            .field("local", &self.shared.local)
+            .field("local", &self.local)
             .finish()
-    }
-}
-
-struct ListenerSink {
-    shared: Weak<ListenerShared>,
-}
-
-impl PacketSink for ListenerSink {
-    fn on_packet(&self, _net: &Network, pkt: Packet) {
-        let Some(listener) = self.shared.upgrade() else {
-            return;
-        };
-        let PacketBody::Tcp(seg) = pkt.body else {
-            return;
-        };
-        let existing = listener.conns.lock().get(&pkt.src).cloned();
-        if let Some(conn) = existing {
-            conn.handle_segment(seg);
-            return;
-        }
-        if !seg.flags.syn || seg.flags.ack {
-            return; // stray non-SYN for an unknown connection
-        }
-        // Passive open.
-        let id = ConnectionId::fresh(listener.net.sim());
-        let shared = Arc::new(TcpShared {
-            id,
-            net: listener.net.clone(),
-            inner: Mutex::new(TcpShared::new_inner(
-                listener.cfg.clone(),
-                State::SynRcvd,
-                listener.local,
-                pkt.src,
-                id,
-                listener.net.sim().recorder().clone(),
-            )),
-            events: Mutex::new(None),
-        });
-        let conn = Connection::Tcp(TcpConn {
-            shared: shared.clone(),
-        });
-        let events = listener.handler.on_accept(&conn);
-        *shared.events.lock() = Some(events);
-        listener.conns.lock().insert(pkt.src, shared.clone());
-        shared.process(|inner, now, out| {
-            inner.rcv_nxt = seg.seq + 1;
-            inner.ts_recent = Some(seg.ts);
-            inner.peer_wnd = seg.wnd;
-            let synack = TcpSegment {
-                seq: 0,
-                ack: inner.rcv_nxt,
-                flags: SegFlags {
-                    syn: true,
-                    ack: true,
-                    fin: false,
-                },
-                wnd: inner.my_wnd(),
-                ts: now,
-                ts_echo: inner.ts_recent,
-                holes: Vec::new(),
-                payload: Bytes::new(),
-            };
-            inner.sent.insert(
-                0,
-                SentSeg {
-                    payload: Bytes::new(),
-                    syn: true,
-                    fin: false,
-                    retransmitted: false,
-                    last_rexmit: None,
-                },
-            );
-            inner.snd_nxt = 1;
-            out.push(Action::Send(synack));
-            arm_rto(inner, out);
-        });
     }
 }
 
@@ -1289,30 +1575,40 @@ impl TcpListener {
         cfg: TcpConfig,
         handler: Arc<dyn StreamAccept>,
     ) -> Result<TcpListener, BindError> {
-        let shared = Arc::new(ListenerShared {
-            net: net.clone(),
-            local: Endpoint::new(node, port),
-            cfg,
-            handler,
-            conns: Mutex::new(std::collections::HashMap::new()),
-        });
-        let sink = Arc::new(ListenerSink {
-            shared: Arc::downgrade(&shared),
-        });
-        net.bind(node, WireProtocol::Tcp, port, sink)?;
-        Ok(TcpListener { shared })
+        let stack = net.tcp_stack();
+        net.bind(node, WireProtocol::Tcp, port, stack.clone())?;
+        let local = Endpoint::new(node, port);
+        {
+            let mut guard = stack.inner.lock();
+            let inner = &mut *guard;
+            let cfg_id = TcpStack::intern(&mut inner.configs, cfg);
+            inner.listeners.insert(
+                ep_key(local),
+                ListenerEntry {
+                    cfg_id,
+                    handler,
+                    conns: FxHashMap::default(),
+                },
+            );
+        }
+        Ok(TcpListener { stack, local })
     }
 
     /// The listening endpoint.
     #[must_use]
     pub fn local(&self) -> Endpoint {
-        self.shared.local
+        self.local
     }
 
     /// Number of connections this listener has accepted (and not forgotten).
     #[must_use]
     pub fn connection_count(&self) -> usize {
-        self.shared.conns.lock().len()
+        self.stack
+            .inner
+            .lock()
+            .listeners
+            .get(&ep_key(self.local))
+            .map_or(0, |e| e.conns.len())
     }
 }
 
@@ -1584,5 +1880,43 @@ mod tests {
         // Connection enum works through the shared StreamEvents trait.
         let ev: Arc<dyn StreamEvents> = Arc::new(SinkEvents);
         let _ = ev;
+    }
+
+    #[test]
+    fn dropping_last_client_handle_kills_flow_in_place() {
+        let (sim, net, a, b) = setup(LinkConfig::new(10e6, Duration::from_millis(5)));
+        let server = Arc::new(Recorder::default());
+        let _l = TcpListener::bind(
+            &net,
+            b,
+            80,
+            TcpConfig::default(),
+            Arc::new(AcceptRecorder { rec: server.clone() }),
+        )
+        .unwrap();
+        let client = Arc::new(Recorder::default());
+        let conn = TcpConn::connect(
+            &net,
+            a,
+            Endpoint::new(b, 80),
+            TcpConfig::default(),
+            client.clone(),
+        )
+        .unwrap();
+        sim.run_for(Duration::from_secs(1));
+        assert!(conn.is_established());
+        let stack = conn.stack.clone();
+        let h = conn.h;
+        drop(conn);
+        // The slot still exists (never reused), but the flow is dead and its
+        // buffers are gone.
+        let inner = stack.inner.lock();
+        let flow = inner.flows.get(h).expect("slot is never removed");
+        assert_eq!(flow.state, State::Closed);
+        assert_eq!(flow.app_handles, 0);
+        assert!(flow.events.is_none());
+        assert!(inner.conn_index.is_empty() || !inner
+            .conn_index
+            .contains_key(&pair_key(flow.local, flow.peer)));
     }
 }

@@ -22,6 +22,14 @@
 //! The protocol buffer sizes (paper: raised from 12 MB to 100 MB) bound the
 //! flow window; an undersized buffer caps throughput at `window/RTT`,
 //! reproducing why the authors had to raise it.
+//!
+//! # Flow storage
+//!
+//! Like TCP, all per-connection state lives in one [`Slab`] inside the
+//! per-network [`UdtStack`]; packets and the five periodic/one-shot timers
+//! (pacer, `SYN` tick, expiration tick, receive-processing completion,
+//! handshake retry) address flows through 8-byte handles and packed
+//! `kind | slot | aux` tokens. See `DESIGN.md` §12.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -32,9 +40,11 @@ use bytes::Bytes;
 use kmsg_telemetry::{EventKind, Recorder};
 use parking_lot::Mutex;
 
+use crate::engine::{EventTarget, Sim};
 use crate::iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvents};
-use crate::network::{BindError, Network, PacketSink};
+use crate::network::{BindError, Network, PacketSink, WeakNetwork};
 use crate::packet::{Endpoint, NodeId, Packet, PacketBody, WireProtocol};
+use crate::slab::{FxHashMap, Handle, Slab};
 use crate::time::SimTime;
 
 /// UDT tuning parameters.
@@ -182,8 +192,40 @@ enum State {
     Closed,
 }
 
-struct UdtInner {
-    cfg: UdtConfig,
+/// Packs an endpoint into a dense map key (mirrors `tcp::ep_key`).
+fn ep_key(e: Endpoint) -> u64 {
+    (u64::from(e.node.index()) << 16) | u64::from(e.port)
+}
+
+fn pair_key(local: Endpoint, peer: Endpoint) -> u128 {
+    (u128::from(ep_key(local)) << 64) | u128::from(ep_key(peer))
+}
+
+/// Timer-token layout: `kind(3) | slot-index(29) | aux(32)`.
+///
+/// `aux` carries the pacer generation (truncated to 32 bits and compared
+/// truncated on both sides) for `KIND_PACER`, and the attempt counter for
+/// `KIND_HS_RETRY`; the periodic ticks and the receive-processing queue
+/// don't need it (flow slots are never reused, and processing completions
+/// are consumed strictly in FIFO order from the flow's own queue).
+const TOKEN_KIND_SHIFT: u32 = 61;
+const TOKEN_IDX_SHIFT: u32 = 32;
+const TOKEN_IDX_MASK: u64 = (1 << 29) - 1;
+const KIND_PACER: u64 = 0;
+const KIND_SYN_TICK: u64 = 1;
+const KIND_EXP_TICK: u64 = 2;
+const KIND_PROC: u64 = 3;
+const KIND_HS_RETRY: u64 = 4;
+
+fn token(kind: u64, h: Handle<Flow>, aux: u32) -> u64 {
+    (kind << TOKEN_KIND_SHIFT)
+        | ((h.index() as u64 & TOKEN_IDX_MASK) << TOKEN_IDX_SHIFT)
+        | u64::from(aux)
+}
+
+/// Full per-flow UDT state: one slab slot, no interior `Arc`s.
+struct Flow {
+    cfg_id: u16,
     state: State,
     local: Endpoint,
     peer: Endpoint,
@@ -227,6 +269,10 @@ struct UdtInner {
     prev_arrival: Option<(u64, SimTime)>,
     pair_samples: VecDeque<f64>,
     proc_busy_until: SimTime,
+    /// Packets waiting in the modelled receive-processing queue, in
+    /// completion order. `proc_busy_until` is monotone, so completion
+    /// events fire in push order and each pops the front.
+    proc_fifo: VecDeque<(u64, bool)>,
     peer_fin_seq: Option<u64>,
 
     // --- notifications ---
@@ -236,87 +282,33 @@ struct UdtInner {
 
     stats: UdtConnStats,
 
-    // --- telemetry ---
     /// Raw [`ConnectionId`] used to tag flight-recorder events.
     conn_id: u64,
-    /// Recorder shared with the owning [`Sim`](crate::engine::Sim).
-    rec: Recorder,
+    /// The application's event handler (absent until `on_accept` returns).
+    events: Option<Arc<dyn StreamEvents>>,
+    /// Connect-created flows die in place when the application drops its
+    /// last [`UdtConn`]; accepted flows are owned by their listener entry.
+    app_owned: bool,
+    /// Live [`UdtConn`] wrappers referring to this slot.
+    app_handles: u32,
 }
 
-impl UdtInner {
-    fn flight_pkts(&self) -> u64 {
-        self.snd_nxt - self.snd_una
-    }
-
-    fn flow_window_pkts(&self) -> u64 {
-        let bytes = (self.cfg.snd_buf as u64).min(self.peer_flow_window);
-        (bytes / self.cfg.mss as u64).max(2)
-    }
-
-    fn current_rate_pps(&self) -> f64 {
-        1e6 / self.snd_period_us
-    }
-
-    fn capacity_median_pps(&self) -> f64 {
-        if self.pair_samples.is_empty() {
-            return 0.0;
-        }
-        let mut v: Vec<f64> = self.pair_samples.iter().copied().collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN capacity sample"));
-        v[v.len() / 2]
-    }
-}
-
-enum Action {
-    Send(UdtPacket),
-    Deliver(Bytes),
-    Connected,
-    Writable,
-    Closed(CloseReason),
-    SchedulePacer(Duration, u64),
-    ScheduleProc(SimTime, u64, bool),
-}
-
-pub(crate) struct UdtShared {
-    id: ConnectionId,
-    net: Network,
-    inner: Mutex<UdtInner>,
-    events: Mutex<Option<Arc<dyn StreamEvents>>>,
-}
-
-/// A simulated UDT connection handle. Cloning refers to the same connection.
-#[derive(Clone)]
-pub struct UdtConn {
-    shared: Arc<UdtShared>,
-}
-
-impl fmt::Debug for UdtConn {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.shared.inner.lock();
-        f.debug_struct("UdtConn")
-            .field("id", &self.shared.id)
-            .field("local", &inner.local)
-            .field("peer", &inner.peer)
-            .field("state", &inner.state)
-            .field("initiator", &inner.is_initiator)
-            .field("rate_pps", &inner.current_rate_pps())
-            .finish()
-    }
-}
-
-impl UdtShared {
-    fn new_inner(
-        cfg: UdtConfig,
+impl Flow {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        cfg_id: u16,
+        cfg: &UdtConfig,
         state: State,
         local: Endpoint,
         peer: Endpoint,
         is_initiator: bool,
         now: SimTime,
-        conn_id: ConnectionId,
-        rec: Recorder,
-    ) -> UdtInner {
+        conn_id: u64,
+        app_owned: bool,
+    ) -> Flow {
         let snd_period_us = 1e6 / cfg.initial_rate_pps;
-        UdtInner {
+        Flow {
+            cfg_id,
             state,
             local,
             peer,
@@ -355,61 +347,218 @@ impl UdtShared {
             prev_arrival: None,
             pair_samples: VecDeque::with_capacity(16),
             proc_busy_until: now,
+            proc_fifo: VecDeque::new(),
             peer_fin_seq: None,
             app_blocked: false,
             connected_notified: false,
             closed_notified: false,
             stats: UdtConnStats::default(),
-            conn_id: conn_id.raw(),
+            conn_id,
+            events: None,
+            app_owned,
+            app_handles: 1,
+        }
+    }
+
+    fn flight_pkts(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    fn current_rate_pps(&self) -> f64 {
+        1e6 / self.snd_period_us
+    }
+
+    fn capacity_median_pps(&self) -> f64 {
+        if self.pair_samples.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = self.pair_samples.iter().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN capacity sample"));
+        v[v.len() / 2]
+    }
+}
+
+fn flow_window_pkts(flow: &Flow, cfg: &UdtConfig) -> u64 {
+    let bytes = (cfg.snd_buf as u64).min(flow.peer_flow_window);
+    (bytes / cfg.mss as u64).max(2)
+}
+
+enum Action {
+    Send(UdtPacket),
+    Deliver(Bytes),
+    Connected,
+    Writable,
+    Closed(CloseReason),
+    /// Re-arm the pacing clock after `delay` with the given generation.
+    ArmPacer(Duration, u64),
+    /// Next periodic rate-control / ACK-emission tick.
+    ArmSynTick(Duration),
+    /// Next periodic expiration check.
+    ArmExpTick(Duration),
+    /// Receive-processing completion at an absolute time (the matching
+    /// `(seq, probe)` rides the flow's `proc_fifo`).
+    ArmProc(SimTime),
+    /// Handshake retransmission with its attempt counter.
+    ArmHsRetry(Duration, u32),
+}
+
+/// A port with a registered [`StreamAccept`] handler plus its accepted
+/// flows (kept for the life of the stack, mirroring the previous
+/// listener-owned connection table).
+struct ListenerEntry {
+    cfg_id: u16,
+    handler: Arc<dyn StreamAccept>,
+    conns: FxHashMap<u64, Handle<Flow>>,
+}
+
+struct StackInner {
+    flows: Slab<Flow>,
+    configs: Vec<UdtConfig>,
+    conn_index: FxHashMap<u128, Handle<Flow>>,
+    listeners: FxHashMap<u64, ListenerEntry>,
+}
+
+/// Per-network UDT state: every flow on the network lives in this one slab.
+///
+/// The stack is the [`PacketSink`] for every UDT port and the
+/// [`EventTarget`] for every UDT timer (see the token layout above).
+/// Created lazily by [`Network::udt_stack`]; the fabric back-reference is
+/// weak to avoid a retain cycle through the sink table.
+pub(crate) struct UdtStack {
+    sim: Sim,
+    rec: Recorder,
+    net: WeakNetwork,
+    self_weak: Weak<UdtStack>,
+    inner: Mutex<StackInner>,
+}
+
+impl UdtStack {
+    pub(crate) fn new(sim: Sim, net: WeakNetwork) -> Arc<UdtStack> {
+        let rec = sim.recorder().clone();
+        Arc::new_cyclic(|weak| UdtStack {
+            sim,
             rec,
-            cfg,
+            net,
+            self_weak: weak.clone(),
+            inner: Mutex::new(StackInner {
+                flows: Slab::new(),
+                configs: Vec::new(),
+                conn_index: FxHashMap::default(),
+                listeners: FxHashMap::default(),
+            }),
+        })
+    }
+
+    fn intern(configs: &mut Vec<UdtConfig>, cfg: UdtConfig) -> u16 {
+        if let Some(i) = configs.iter().position(|c| *c == cfg) {
+            return i as u16;
+        }
+        let id = u16::try_from(configs.len()).expect("too many distinct UdtConfigs");
+        configs.push(cfg);
+        id
+    }
+
+    fn retain_handle(&self, h: Handle<Flow>) {
+        let mut inner = self.inner.lock();
+        if let Some(flow) = inner.flows.get_mut(h) {
+            flow.app_handles += 1;
         }
     }
 
-    fn process<F>(self: &Arc<Self>, f: F)
-    where
-        F: FnOnce(&mut UdtInner, SimTime, &mut Vec<Action>),
-    {
-        let now = self.net.sim().now();
-        let mut actions = Vec::new();
-        {
+    /// Drops one app handle; the last handle of a connect-created flow
+    /// kills it in place (see `tcp::TcpStack::release_handle`).
+    fn release_handle(&self, h: Handle<Flow>) {
+        let _events = {
             let mut inner = self.inner.lock();
-            f(&mut inner, now, &mut actions);
-        }
-        self.perform(actions);
+            let Some(flow) = inner.flows.get_mut(h) else {
+                return;
+            };
+            flow.app_handles = flow.app_handles.saturating_sub(1);
+            if flow.app_handles > 0 || !flow.app_owned {
+                return;
+            }
+            flow.state = State::Closed;
+            flow.pacer_active = false;
+            flow.send_q.clear();
+            flow.send_q_bytes = 0;
+            flow.packets.clear();
+            flow.loss_list.clear();
+            flow.ooo.clear();
+            flow.ooo_bytes = 0;
+            flow.missing.clear();
+            flow.proc_fifo.clear();
+            flow.pair_samples.clear();
+            let key = pair_key(flow.local, flow.peer);
+            let events = flow.events.take();
+            inner.conn_index.remove(&key);
+            events
+        };
     }
 
-    fn perform(self: &Arc<Self>, actions: Vec<Action>) {
-        // Mirror of the TCP fast path: data packets and pacer re-arms are
-        // the common case, so the handler registration lock (and the
-        // `Connection` wrapper) is only touched when an action actually
-        // notifies the application.
-        let needs_events = actions.iter().any(|a| {
-            matches!(
-                a,
-                Action::Deliver(_) | Action::Connected | Action::Writable | Action::Closed(_)
-            )
-        });
-        let (events, conn) = if needs_events {
+    fn make_conn(self: &Arc<Self>, h: Handle<Flow>, id: u64, local: Endpoint, peer: Endpoint) -> UdtConn {
+        self.retain_handle(h);
+        UdtConn {
+            stack: self.clone(),
+            h,
+            id: ConnectionId::from_raw(id),
+            local,
+            peer,
+        }
+    }
+
+    /// Runs `f` on the flow under the stack lock, then performs the
+    /// produced actions without holding it.
+    fn process<F>(self: &Arc<Self>, h: Handle<Flow>, f: F)
+    where
+        F: FnOnce(&mut Flow, &UdtConfig, &Recorder, SimTime, &mut Vec<Action>),
+    {
+        let now = self.sim.now();
+        let mut actions = Vec::new();
+        let (local, peer, id, events) = {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            let Some(flow) = inner.flows.get_mut(h) else {
+                return;
+            };
+            let cfg = &inner.configs[flow.cfg_id as usize];
+            f(flow, cfg, &self.rec, now, &mut actions);
+            let needs_events = actions.iter().any(|a| {
+                matches!(
+                    a,
+                    Action::Deliver(_) | Action::Connected | Action::Writable | Action::Closed(_)
+                )
+            });
             (
-                self.events.lock().clone(),
-                Some(Connection::Udt(UdtConn {
-                    shared: self.clone(),
-                })),
+                flow.local,
+                flow.peer,
+                flow.conn_id,
+                if needs_events { flow.events.clone() } else { None },
             )
-        } else {
-            (None, None)
         };
+        if actions.is_empty() {
+            return;
+        }
+        let conn = events
+            .as_ref()
+            .map(|_| Connection::Udt(self.make_conn(h, id, local, peer)));
+        let mut net = None;
         for action in actions {
             match action {
                 Action::Send(pkt) => {
-                    let (src, dst) = {
-                        let inner = self.inner.lock();
-                        (inner.local, inner.peer)
-                    };
-                    let len = pkt.payload_len();
-                    let wire = Packet::new(src, dst, WireProtocol::Udt, len, PacketBody::Udt(pkt));
-                    self.net.send_packet(wire);
+                    if net.is_none() {
+                        net = self.net.upgrade();
+                    }
+                    if let Some(net) = &net {
+                        let len = pkt.payload_len();
+                        let wire = Packet::new(
+                            local,
+                            peer,
+                            WireProtocol::Udt,
+                            len,
+                            PacketBody::Udt(pkt),
+                        );
+                        net.send_packet(wire);
+                    }
                 }
                 Action::Deliver(data) => {
                     if let (Some(ev), Some(conn)) = (&events, &conn) {
@@ -431,83 +580,69 @@ impl UdtShared {
                         ev.on_closed(conn, reason);
                     }
                 }
-                Action::SchedulePacer(delay, gen) => {
-                    let weak = Arc::downgrade(self);
-                    self.net.sim().schedule_in(delay, move |_| {
-                        if let Some(shared) = weak.upgrade() {
-                            shared.on_pacer(gen);
-                        }
-                    });
+                Action::ArmPacer(delay, gen) => {
+                    self.sim.schedule_target_in(
+                        delay,
+                        self.clone(),
+                        token(KIND_PACER, h, gen as u32),
+                    );
                 }
-                Action::ScheduleProc(at, seq, probe) => {
-                    let weak = Arc::downgrade(self);
-                    self.net.sim().schedule_at(at, move |_| {
-                        if let Some(shared) = weak.upgrade() {
-                            shared.on_data_processed(seq, probe);
-                        }
-                    });
+                Action::ArmSynTick(delay) => {
+                    self.sim
+                        .schedule_target_in(delay, self.clone(), token(KIND_SYN_TICK, h, 0));
+                }
+                Action::ArmExpTick(delay) => {
+                    self.sim
+                        .schedule_target_in(delay, self.clone(), token(KIND_EXP_TICK, h, 0));
+                }
+                Action::ArmProc(at) => {
+                    self.sim
+                        .schedule_target_at(at, self.clone(), token(KIND_PROC, h, 0));
+                }
+                Action::ArmHsRetry(delay, attempt) => {
+                    self.sim.schedule_target_in(
+                        delay,
+                        self.clone(),
+                        token(KIND_HS_RETRY, h, attempt),
+                    );
                 }
             }
         }
     }
 
-    /// Periodic timers (ACK emission, rate control, expiration check) are
-    /// started once the connection is established.
-    fn start_timers(self: &Arc<Self>) {
-        self.schedule_syn_tick();
-        self.schedule_exp_tick();
-    }
-
-    fn schedule_syn_tick(self: &Arc<Self>) {
-        let weak = Arc::downgrade(self);
-        let syn = self.inner.lock().cfg.syn;
-        self.net.sim().schedule_in(syn, move |_| {
-            if let Some(shared) = weak.upgrade() {
-                shared.on_syn_tick();
-                shared.schedule_syn_tick();
+    /// Rate control + receiver-side ACK emission, every `SYN`. The tick
+    /// chain re-arms itself until the flow closes.
+    fn on_syn_tick(self: &Arc<Self>, h: Handle<Flow>) {
+        self.process(h, |flow, cfg, rec, now, out| {
+            if flow.state == State::Closed {
+                return;
             }
-        });
-    }
-
-    fn schedule_exp_tick(self: &Arc<Self>) {
-        let weak = Arc::downgrade(self);
-        let exp = self.inner.lock().cfg.exp_timeout;
-        self.net.sim().schedule_in(exp, move |_| {
-            if let Some(shared) = weak.upgrade() {
-                shared.on_exp_tick();
-                shared.schedule_exp_tick();
-            }
-        });
-    }
-
-    /// Rate control + receiver-side ACK emission, every `SYN`.
-    fn on_syn_tick(self: &Arc<Self>) {
-        self.process(|inner, now, out| {
-            if inner.state != State::Established {
+            if flow.state != State::Established {
+                out.push(Action::ArmSynTick(cfg.syn));
                 return;
             }
             // --- receiver duties: emit cumulative ACK with rate estimates.
-            let interval = inner.cfg.syn.as_secs_f64();
-            let cur_rate = inner.pkts_since_ack as f64 / interval;
-            inner.rate_ewma_pps = if inner.rate_ewma_pps == 0.0 {
+            let interval = cfg.syn.as_secs_f64();
+            let cur_rate = flow.pkts_since_ack as f64 / interval;
+            flow.rate_ewma_pps = if flow.rate_ewma_pps == 0.0 {
                 cur_rate
             } else {
-                0.875 * inner.rate_ewma_pps + 0.125 * cur_rate
+                0.875 * flow.rate_ewma_pps + 0.125 * cur_rate
             };
-            inner.pkts_since_ack = 0;
+            flow.pkts_since_ack = 0;
             out.push(Action::Send(UdtPacket::Ack {
-                ack_seq: inner.rcv_nxt,
-                rcv_rate_pps: inner.rate_ewma_pps,
-                capacity_pps: inner.capacity_median_pps(),
+                ack_seq: flow.rcv_nxt,
+                rcv_rate_pps: flow.rate_ewma_pps,
+                capacity_pps: flow.capacity_median_pps(),
             }));
             // Re-request persistently missing packets.
-            if !inner.missing.is_empty() {
-                let ranges = collect_ranges(&inner.missing, 64);
+            if !flow.missing.is_empty() {
+                let ranges = collect_ranges(&flow.missing, 64);
                 let losses = ranges.iter().map(|(f, t)| t - f + 1).sum();
-                inner.rec.record(
+                rec.record(
                     now.as_nanos(),
                     EventKind::UdtNak {
-                        conn: inner.conn_id,
+                        conn: flow.conn_id,
                         sent: true,
                         losses,
                     },
@@ -516,10 +651,10 @@ impl UdtShared {
             }
 
             // --- sender duties: DAIMD rate increase (UDT4 formula).
-            if !inner.nak_in_syn && inner.sent_in_syn > 0 {
-                let mss = inner.cfg.mss as f64;
-                let c_pps = inner.current_rate_pps();
-                let l_pps = inner.capacity_est_pps;
+            if !flow.nak_in_syn && flow.sent_in_syn > 0 {
+                let mss = cfg.mss as f64;
+                let c_pps = flow.current_rate_pps();
+                let l_pps = flow.capacity_est_pps;
                 let b = l_pps - c_pps;
                 let inc = if b <= 0.0 {
                     1.0 / mss
@@ -527,100 +662,108 @@ impl UdtShared {
                     let bits = b * mss * 8.0;
                     (10f64.powf(bits.log10().ceil()) * 1.5e-6 / mss).max(1.0 / mss)
                 };
-                let syn_us = inner.cfg.syn.as_secs_f64() * 1e6;
-                inner.snd_period_us =
-                    (inner.snd_period_us * syn_us) / (inner.snd_period_us * inc + syn_us);
-                inner.snd_period_us = inner.snd_period_us.max(1.0);
-                inner.rec.record(
+                let syn_us = cfg.syn.as_secs_f64() * 1e6;
+                flow.snd_period_us =
+                    (flow.snd_period_us * syn_us) / (flow.snd_period_us * inc + syn_us);
+                flow.snd_period_us = flow.snd_period_us.max(1.0);
+                rec.record(
                     now.as_nanos(),
                     EventKind::UdtRate {
-                        conn: inner.conn_id,
-                        period_us: inner.snd_period_us,
-                        rate_pps: inner.current_rate_pps(),
+                        conn: flow.conn_id,
+                        period_us: flow.snd_period_us,
+                        rate_pps: flow.current_rate_pps(),
                         cause: "syn_increase",
                     },
                 );
             }
-            inner.nak_in_syn = false;
-            inner.sent_in_syn = 0;
+            flow.nak_in_syn = false;
+            flow.sent_in_syn = 0;
             // Tail-loss probe: the receiver cannot NAK a loss at the very
             // end of the stream (no later packet exposes the gap), and its
             // periodic ACKs keep resetting the expiration timer. If the
             // cumulative ACK has not advanced for a couple of RTTs while
             // data is in flight, retransmit the first unacknowledged packet.
-            if inner.flight_pkts() > 0 {
-                let rtt = inner.rtt.unwrap_or(0.1);
+            if flow.flight_pkts() > 0 {
+                let rtt = flow.rtt.unwrap_or(0.1);
                 let stale = Duration::from_secs_f64((2.5 * rtt).max(0.05));
-                if now.duration_since(inner.last_progress_at) > stale {
-                    inner.loss_list.insert(inner.snd_una);
-                    inner.last_progress_at = now;
+                if now.duration_since(flow.last_progress_at) > stale {
+                    flow.loss_list.insert(flow.snd_una);
+                    flow.last_progress_at = now;
                 }
-            } else if inner.fin_sent && !inner.fin_acked {
-                let rtt = inner.rtt.unwrap_or(0.1);
+            } else if flow.fin_sent && !flow.fin_acked {
+                let rtt = flow.rtt.unwrap_or(0.1);
                 let stale = Duration::from_secs_f64((2.5 * rtt).max(0.05));
-                if now.duration_since(inner.last_progress_at) > stale {
+                if now.duration_since(flow.last_progress_at) > stale {
                     out.push(Action::Send(UdtPacket::Fin {
-                        final_seq: inner.snd_nxt,
+                        final_seq: flow.snd_nxt,
                     }));
-                    inner.last_progress_at = now;
+                    flow.last_progress_at = now;
                 }
             }
-            restart_pacer(inner, out);
+            restart_pacer(flow, cfg, out);
+            out.push(Action::ArmSynTick(cfg.syn));
         });
     }
 
-    /// Expiration: no feedback while data is in flight.
-    fn on_exp_tick(self: &Arc<Self>) {
-        self.process(|inner, now, out| {
-            if inner.state != State::Established {
+    /// Expiration: no feedback while data is in flight. Re-arms itself
+    /// until the flow closes.
+    fn on_exp_tick(self: &Arc<Self>, h: Handle<Flow>) {
+        self.process(h, |flow, cfg, _rec, now, out| {
+            if flow.state == State::Closed {
                 return;
             }
-            let idle = now.duration_since(inner.last_feedback_at);
+            if flow.state != State::Established {
+                out.push(Action::ArmExpTick(cfg.exp_timeout));
+                return;
+            }
+            let idle = now.duration_since(flow.last_feedback_at);
             // Scale the expiration threshold with the measured RTT so a
             // long path does not trigger spurious go-back-N floods.
-            let rtt = inner.rtt.unwrap_or(0.2);
-            let threshold = inner.cfg.exp_timeout.max(Duration::from_secs_f64(3.0 * rtt));
+            let rtt = flow.rtt.unwrap_or(0.2);
+            let threshold = cfg.exp_timeout.max(Duration::from_secs_f64(3.0 * rtt));
             if idle < threshold {
-                inner.expirations_in_row = 0;
+                flow.expirations_in_row = 0;
+                out.push(Action::ArmExpTick(cfg.exp_timeout));
                 return;
             }
-            let has_unacked =
-                inner.flight_pkts() > 0 || (inner.fin_sent && !inner.fin_acked);
+            let has_unacked = flow.flight_pkts() > 0 || (flow.fin_sent && !flow.fin_acked);
             if !has_unacked {
-                inner.expirations_in_row = 0;
+                flow.expirations_in_row = 0;
+                out.push(Action::ArmExpTick(cfg.exp_timeout));
                 return;
             }
-            inner.stats.expirations += 1;
-            inner.expirations_in_row += 1;
-            if inner.expirations_in_row > inner.cfg.max_expirations {
-                inner.state = State::Closed;
-                if !inner.closed_notified {
-                    inner.closed_notified = true;
+            flow.stats.expirations += 1;
+            flow.expirations_in_row += 1;
+            if flow.expirations_in_row > cfg.max_expirations {
+                flow.state = State::Closed;
+                if !flow.closed_notified {
+                    flow.closed_notified = true;
                     out.push(Action::Closed(CloseReason::Timeout));
                 }
                 return;
             }
             // Schedule all in-flight packets for retransmission.
-            for seq in inner.snd_una..inner.snd_nxt {
-                if inner.packets.contains_key(&seq) {
-                    inner.loss_list.insert(seq);
+            for seq in flow.snd_una..flow.snd_nxt {
+                if flow.packets.contains_key(&seq) {
+                    flow.loss_list.insert(seq);
                 }
             }
-            if inner.fin_sent && !inner.fin_acked {
-                let final_seq = inner.snd_nxt;
+            if flow.fin_sent && !flow.fin_acked {
+                let final_seq = flow.snd_nxt;
                 out.push(Action::Send(UdtPacket::Fin { final_seq }));
             }
-            restart_pacer(inner, out);
+            restart_pacer(flow, cfg, out);
+            out.push(Action::ArmExpTick(cfg.exp_timeout));
         });
     }
 
     /// The pacing clock: transmit one packet, reschedule.
-    fn on_pacer(self: &Arc<Self>, gen: u64) {
-        self.process(|inner, now, out| {
-            if gen != inner.pacer_gen || inner.state != State::Established {
+    fn on_pacer(self: &Arc<Self>, h: Handle<Flow>, gen: u32) {
+        self.process(h, |flow, cfg, _rec, now, out| {
+            if gen != flow.pacer_gen as u32 || flow.state != State::Established {
                 return;
             }
-            let sent_seq = send_one(inner, now, out);
+            let sent_seq = send_one(flow, cfg, now, out);
             match sent_seq {
                 Some(seq) => {
                     // Packet pairs: the packet after every 16th is sent
@@ -628,78 +771,104 @@ impl UdtShared {
                     let delay = if seq % 16 == 15 {
                         Duration::ZERO
                     } else {
-                        Duration::from_secs_f64(inner.snd_period_us / 1e6)
+                        Duration::from_secs_f64(flow.snd_period_us / 1e6)
                     };
-                    inner.pacer_gen += 1;
-                    out.push(Action::SchedulePacer(delay, inner.pacer_gen));
+                    flow.pacer_gen += 1;
+                    out.push(Action::ArmPacer(delay, flow.pacer_gen));
                 }
                 None => {
-                    inner.pacer_active = false;
+                    flow.pacer_active = false;
                 }
             }
         });
     }
 
     /// A data packet cleared the receive-processing queue.
-    fn on_data_processed(self: &Arc<Self>, seq: u64, probe: bool) {
-        self.process(|inner, now, out| {
-            if inner.state == State::Closed {
+    fn on_data_processed(self: &Arc<Self>, h: Handle<Flow>) {
+        self.process(h, |flow, _cfg, rec, now, out| {
+            // Pop unconditionally: the completion event consumed its queue
+            // entry even if the flow died in the meantime.
+            let Some((seq, probe)) = flow.proc_fifo.pop_front() else {
+                return;
+            };
+            if flow.state == State::Closed {
                 return;
             }
-            receive_data_packet(inner, seq, probe, now, out);
+            receive_data_packet(flow, rec, seq, probe, now, out);
         });
     }
 
-    fn handle_packet(self: &Arc<Self>, pkt: UdtPacket) {
-        self.process(|inner, now, out| match pkt {
+    /// Handshake (re)transmission. `attempt` rides the timer token.
+    fn on_hs_retry(self: &Arc<Self>, h: Handle<Flow>, attempt: u32) {
+        self.process(h, move |flow, cfg, _rec, _now, out| {
+            if flow.state != State::Connecting {
+                return;
+            }
+            if attempt > 12 {
+                if !flow.closed_notified {
+                    flow.state = State::Closed;
+                    flow.closed_notified = true;
+                    out.push(Action::Closed(CloseReason::Timeout));
+                }
+                return;
+            }
+            out.push(Action::Send(UdtPacket::Handshake {
+                flow_window: cfg.rcv_buf as u64,
+            }));
+            out.push(Action::ArmHsRetry(Duration::from_millis(250), attempt + 1));
+        });
+    }
+
+    fn handle_packet(self: &Arc<Self>, h: Handle<Flow>, pkt: UdtPacket) {
+        self.process(h, move |flow, cfg, rec, now, out| match pkt {
             UdtPacket::Handshake { flow_window } => {
-                inner.peer_flow_window = flow_window;
+                flow.peer_flow_window = flow_window;
                 out.push(Action::Send(UdtPacket::HandshakeAck {
-                    flow_window: inner.cfg.rcv_buf as u64,
+                    flow_window: cfg.rcv_buf as u64,
                 }));
-                if inner.state == State::Connecting {
-                    inner.state = State::Established;
-                    if !inner.connected_notified {
-                        inner.connected_notified = true;
+                if flow.state == State::Connecting {
+                    flow.state = State::Established;
+                    if !flow.connected_notified {
+                        flow.connected_notified = true;
                         out.push(Action::Connected);
                     }
                 }
             }
             UdtPacket::HandshakeAck { flow_window } => {
-                if inner.state == State::Connecting {
-                    inner.peer_flow_window = flow_window;
-                    inner.state = State::Established;
-                    inner.rtt =
-                        Some(now.duration_since(inner.handshake_sent_at).as_secs_f64());
-                    if !inner.connected_notified {
-                        inner.connected_notified = true;
+                if flow.state == State::Connecting {
+                    flow.peer_flow_window = flow_window;
+                    flow.state = State::Established;
+                    flow.rtt =
+                        Some(now.duration_since(flow.handshake_sent_at).as_secs_f64());
+                    if !flow.connected_notified {
+                        flow.connected_notified = true;
                         out.push(Action::Connected);
                     }
-                    restart_pacer(inner, out);
+                    restart_pacer(flow, cfg, out);
                 }
             }
             UdtPacket::Data { seq, probe, payload } => {
-                if inner.state != State::Established {
+                if flow.state != State::Established {
                     return;
                 }
-                inner.pkts_since_ack += 1;
-                if inner.cfg.rx_proc_delay.is_zero() {
-                    store_incoming(inner, seq, payload);
-                    receive_data_packet(inner, seq, probe, now, out);
+                flow.pkts_since_ack += 1;
+                if cfg.rx_proc_delay.is_zero() {
+                    store_incoming(flow, cfg, seq, payload);
+                    receive_data_packet(flow, rec, seq, probe, now, out);
                 } else {
-                    let backlog = inner
+                    let backlog = flow
                         .proc_busy_until
                         .duration_since(now)
                         .as_secs_f64()
-                        / inner.cfg.rx_proc_delay.as_secs_f64();
-                    if backlog as usize >= inner.cfg.rx_proc_backlog {
-                        inner.stats.rx_proc_drops += 1;
+                        / cfg.rx_proc_delay.as_secs_f64();
+                    if backlog as usize >= cfg.rx_proc_backlog {
+                        flow.stats.rx_proc_drops += 1;
                         return; // overload drop: will be NAKed
                     }
-                    store_incoming(inner, seq, payload);
-                    inner.proc_busy_until =
-                        inner.proc_busy_until.max(now) + inner.cfg.rx_proc_delay;
-                    out.push(Action::ScheduleProc(inner.proc_busy_until, seq, probe));
+                    store_incoming(flow, cfg, seq, payload);
+                    flow.proc_busy_until = flow.proc_busy_until.max(now) + cfg.rx_proc_delay;
+                    flow.proc_fifo.push_back((seq, probe));
+                    out.push(Action::ArmProc(flow.proc_busy_until));
                 }
             }
             UdtPacket::Ack {
@@ -707,65 +876,61 @@ impl UdtShared {
                 rcv_rate_pps: _,
                 capacity_pps,
             } => {
-                if inner.state != State::Established {
+                if flow.state != State::Established {
                     return;
                 }
-                inner.last_feedback_at = now;
-                inner.expirations_in_row = 0;
+                flow.last_feedback_at = now;
+                flow.expirations_in_row = 0;
                 if capacity_pps > 0.0 {
-                    inner.capacity_est_pps = capacity_pps;
+                    flow.capacity_est_pps = capacity_pps;
                 }
-                if ack_seq > inner.snd_una {
-                    let still_unacked = inner.packets.split_off(&ack_seq);
-                    let acked_bytes: usize =
-                        inner.packets.values().map(Bytes::len).sum();
-                    inner.packets = still_unacked;
-                    inner.unacked_bytes = inner.unacked_bytes.saturating_sub(acked_bytes);
-                    inner.stats.bytes_acked += acked_bytes as u64;
-                    inner.snd_una = ack_seq;
-                    inner.last_progress_at = now;
-                    if inner.cfg.ack_progress_events && acked_bytes > 0 {
-                        inner.app_blocked = false;
+                if ack_seq > flow.snd_una {
+                    let still_unacked = flow.packets.split_off(&ack_seq);
+                    let acked_bytes: usize = flow.packets.values().map(Bytes::len).sum();
+                    flow.packets = still_unacked;
+                    flow.unacked_bytes = flow.unacked_bytes.saturating_sub(acked_bytes);
+                    flow.stats.bytes_acked += acked_bytes as u64;
+                    flow.snd_una = ack_seq;
+                    flow.last_progress_at = now;
+                    if cfg.ack_progress_events && acked_bytes > 0 {
+                        flow.app_blocked = false;
                         out.push(Action::Writable);
                     }
-                    let lost_below: Vec<u64> = inner
-                        .loss_list
-                        .range(..ack_seq)
-                        .copied()
-                        .collect();
+                    let lost_below: Vec<u64> =
+                        flow.loss_list.range(..ack_seq).copied().collect();
                     for s in lost_below {
-                        inner.loss_list.remove(&s);
+                        flow.loss_list.remove(&s);
                     }
-                    maybe_writable(inner, out);
-                    restart_pacer(inner, out);
+                    maybe_writable(flow, cfg, out);
+                    restart_pacer(flow, cfg, out);
                 }
-                if inner.fin_sent && !inner.fin_acked && inner.snd_una >= inner.snd_nxt {
+                if flow.fin_sent && !flow.fin_acked && flow.snd_una >= flow.snd_nxt {
                     // All data acknowledged; FIN outcome decided by FinAck.
                 }
             }
             UdtPacket::Nak { ranges } => {
-                if inner.state != State::Established {
+                if flow.state != State::Established {
                     return;
                 }
-                inner.last_feedback_at = now;
-                inner.stats.naks_received += 1;
-                inner.nak_in_syn = true;
+                flow.last_feedback_at = now;
+                flow.stats.naks_received += 1;
+                flow.nak_in_syn = true;
                 let mut first_lost = u64::MAX;
                 let mut reported = 0u64;
                 for (from, to) in ranges {
-                    let to = to.min(inner.snd_nxt.saturating_sub(1));
+                    let to = to.min(flow.snd_nxt.saturating_sub(1));
                     for seq in from..=to {
-                        if seq >= inner.snd_una && inner.packets.contains_key(&seq) {
-                            inner.loss_list.insert(seq);
+                        if seq >= flow.snd_una && flow.packets.contains_key(&seq) {
+                            flow.loss_list.insert(seq);
                             first_lost = first_lost.min(seq);
                             reported += 1;
                         }
                     }
                 }
-                inner.rec.record(
+                rec.record(
                     now.as_nanos(),
                     EventKind::UdtNak {
-                        conn: inner.conn_id,
+                        conn: flow.conn_id,
                         sent: false,
                         losses: reported,
                     },
@@ -776,55 +941,148 @@ impl UdtShared {
                 // dropped and sequence numbers stop advancing — after
                 // roughly one RTT of wall time.
                 if first_lost != u64::MAX {
-                    let rtt = inner.rtt.unwrap_or(0.1);
-                    let epoch = Duration::from_secs_f64(rtt.max(4.0 * inner.cfg.syn.as_secs_f64()));
-                    let new_epoch = first_lost > inner.last_dec_seq
-                        || now.duration_since(inner.last_dec_at) > epoch;
+                    let rtt = flow.rtt.unwrap_or(0.1);
+                    let epoch =
+                        Duration::from_secs_f64(rtt.max(4.0 * cfg.syn.as_secs_f64()));
+                    let new_epoch = first_lost > flow.last_dec_seq
+                        || now.duration_since(flow.last_dec_at) > epoch;
                     if new_epoch {
-                        inner.snd_period_us *= 1.125;
-                        inner.last_dec_seq = inner.snd_nxt;
-                        inner.last_dec_at = now;
-                        inner.stats.rate_decreases += 1;
-                        inner.rec.record(
+                        flow.snd_period_us *= 1.125;
+                        flow.last_dec_seq = flow.snd_nxt;
+                        flow.last_dec_at = now;
+                        flow.stats.rate_decreases += 1;
+                        rec.record(
                             now.as_nanos(),
                             EventKind::UdtRate {
-                                conn: inner.conn_id,
-                                period_us: inner.snd_period_us,
-                                rate_pps: inner.current_rate_pps(),
+                                conn: flow.conn_id,
+                                period_us: flow.snd_period_us,
+                                rate_pps: flow.current_rate_pps(),
                                 cause: "nak_decrease",
                             },
                         );
                     }
                 }
-                restart_pacer(inner, out);
+                restart_pacer(flow, cfg, out);
             }
             UdtPacket::Fin { final_seq } => {
-                inner.peer_fin_seq = Some(final_seq);
-                try_finish_receive(inner, out);
+                flow.peer_fin_seq = Some(final_seq);
+                try_finish_receive(flow, out);
             }
             UdtPacket::FinAck => {
-                inner.fin_acked = true;
-                if !inner.closed_notified {
-                    inner.closed_notified = true;
-                    inner.state = State::Closed;
+                flow.fin_acked = true;
+                if !flow.closed_notified {
+                    flow.closed_notified = true;
+                    flow.state = State::Closed;
                     out.push(Action::Closed(CloseReason::Normal));
                 }
             }
         });
     }
+
+    /// Demuxes an incoming packet: established flows by endpoint pair,
+    /// otherwise a listener performs a passive open on a Handshake.
+    fn dispatch(self: &Arc<Self>, src: Endpoint, dst: Endpoint, pkt: UdtPacket) {
+        let known = self.inner.lock().conn_index.get(&pair_key(dst, src)).copied();
+        if let Some(h) = known {
+            self.handle_packet(h, pkt);
+            return;
+        }
+        let UdtPacket::Handshake { .. } = pkt else {
+            return; // stray packet for an unknown connection
+        };
+        let accepted = {
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            let Some(entry) = inner.listeners.get(&ep_key(dst)) else {
+                return;
+            };
+            let handler = entry.handler.clone();
+            let cfg_id = entry.cfg_id;
+            let now = self.sim.now();
+            let id = ConnectionId::fresh(&self.sim);
+            let cfg = &inner.configs[cfg_id as usize];
+            let flow = Flow::new(
+                cfg_id,
+                cfg,
+                State::Connecting,
+                dst,
+                src,
+                false,
+                now,
+                id.raw(),
+                false,
+            );
+            let h = inner.flows.insert(flow);
+            inner.conn_index.insert(pair_key(dst, src), h);
+            inner
+                .listeners
+                .get_mut(&ep_key(dst))
+                .expect("listener entry just looked up")
+                .conns
+                .insert(ep_key(src), h);
+            (handler, h, id)
+        };
+        let (handler, h, id) = accepted;
+        let conn = Connection::Udt(self.make_conn(h, id.raw(), dst, src));
+        let events = handler.on_accept(&conn);
+        {
+            let mut inner = self.inner.lock();
+            if let Some(flow) = inner.flows.get_mut(h) {
+                flow.events = Some(events);
+            }
+        }
+        // Start the periodic tick chains, then process the handshake (which
+        // flips the flow to Established and answers with a HandshakeAck) —
+        // same order as the previous per-connection timer setup.
+        self.process(h, |_flow, cfg, _rec, _now, out| {
+            out.push(Action::ArmSynTick(cfg.syn));
+            out.push(Action::ArmExpTick(cfg.exp_timeout));
+        });
+        self.handle_packet(h, pkt);
+    }
+}
+
+impl PacketSink for UdtStack {
+    fn on_packet(&self, _net: &Network, pkt: Packet) {
+        let Some(stack) = self.self_weak.upgrade() else {
+            return;
+        };
+        let PacketBody::Udt(p) = pkt.body else {
+            return;
+        };
+        stack.dispatch(pkt.src, pkt.dst, p);
+    }
+}
+
+impl EventTarget for UdtStack {
+    fn fire(self: Arc<Self>, _sim: &Sim, token: u64) {
+        let kind = token >> TOKEN_KIND_SHIFT;
+        let idx = ((token >> TOKEN_IDX_SHIFT) & TOKEN_IDX_MASK) as u32;
+        let aux = token as u32;
+        let h = self.inner.lock().flows.handle_at(idx);
+        let Some(h) = h else { return };
+        match kind {
+            KIND_PACER => self.on_pacer(h, aux),
+            KIND_SYN_TICK => self.on_syn_tick(h),
+            KIND_EXP_TICK => self.on_exp_tick(h),
+            KIND_PROC => self.on_data_processed(h),
+            KIND_HS_RETRY => self.on_hs_retry(h, aux),
+            _ => {}
+        }
+    }
 }
 
 /// Stores an arriving payload for ordered delivery (bounded by `rcv_buf`).
-fn store_incoming(inner: &mut UdtInner, seq: u64, payload: Bytes) {
-    if seq < inner.rcv_nxt || inner.ooo.contains_key(&seq) {
+fn store_incoming(flow: &mut Flow, cfg: &UdtConfig, seq: u64, payload: Bytes) {
+    if seq < flow.rcv_nxt || flow.ooo.contains_key(&seq) {
         return; // duplicate
     }
-    if inner.ooo_bytes + payload.len() > inner.cfg.rcv_buf {
-        inner.stats.rx_proc_drops += 1;
+    if flow.ooo_bytes + payload.len() > cfg.rcv_buf {
+        flow.stats.rx_proc_drops += 1;
         return; // receive buffer overflow: packet is effectively lost
     }
-    inner.ooo_bytes += payload.len();
-    inner.ooo.insert(seq, payload);
+    flow.ooo_bytes += payload.len();
+    flow.ooo.insert(seq, payload);
 }
 
 /// Loss detection + in-order delivery once a packet has been "processed".
@@ -832,32 +1090,39 @@ fn store_incoming(inner: &mut UdtInner, seq: u64, payload: Bytes) {
 /// Packet-pair capacity samples are taken here, after the receive
 /// processing stage, so the estimate reflects whichever of the wire or the
 /// endpoint is the real bottleneck.
-fn receive_data_packet(inner: &mut UdtInner, seq: u64, probe: bool, now: SimTime, out: &mut Vec<Action>) {
-    if let Some((prev_seq, prev_at)) = inner.prev_arrival {
+fn receive_data_packet(
+    flow: &mut Flow,
+    rec: &Recorder,
+    seq: u64,
+    probe: bool,
+    now: SimTime,
+    out: &mut Vec<Action>,
+) {
+    if let Some((prev_seq, prev_at)) = flow.prev_arrival {
         if probe && prev_seq + 1 == seq {
             let d = now.duration_since(prev_at).as_secs_f64();
             if d > 0.0 {
                 let pps = 1.0 / d;
-                if inner.pair_samples.len() == 16 {
-                    inner.pair_samples.pop_front();
+                if flow.pair_samples.len() == 16 {
+                    flow.pair_samples.pop_front();
                 }
-                inner.pair_samples.push_back(pps);
+                flow.pair_samples.push_back(pps);
             }
         }
     }
-    inner.prev_arrival = Some((seq, now));
-    if seq >= inner.expected_max {
+    flow.prev_arrival = Some((seq, now));
+    if seq >= flow.expected_max {
         // NAK any fresh gap immediately (UDT reports loss eagerly).
-        if seq > inner.expected_max {
-            let from = inner.expected_max;
+        if seq > flow.expected_max {
+            let from = flow.expected_max;
             let to = seq - 1;
             for s in from..=to {
-                inner.missing.insert(s);
+                flow.missing.insert(s);
             }
-            inner.rec.record(
+            rec.record(
                 now.as_nanos(),
                 EventKind::UdtNak {
-                    conn: inner.conn_id,
+                    conn: flow.conn_id,
                     sent: true,
                     losses: to - from + 1,
                 },
@@ -866,30 +1131,30 @@ fn receive_data_packet(inner: &mut UdtInner, seq: u64, probe: bool, now: SimTime
                 ranges: vec![(from, to)],
             }));
         }
-        inner.expected_max = seq + 1;
+        flow.expected_max = seq + 1;
     }
-    inner.missing.remove(&seq);
+    flow.missing.remove(&seq);
     // Deliver contiguous data.
-    while let Some(entry) = inner.ooo.first_entry() {
-        if *entry.key() != inner.rcv_nxt {
+    while let Some(entry) = flow.ooo.first_entry() {
+        if *entry.key() != flow.rcv_nxt {
             break;
         }
         let data = entry.remove();
-        inner.ooo_bytes -= data.len();
-        inner.rcv_nxt += 1;
-        inner.stats.bytes_delivered += data.len() as u64;
+        flow.ooo_bytes -= data.len();
+        flow.rcv_nxt += 1;
+        flow.stats.bytes_delivered += data.len() as u64;
         out.push(Action::Deliver(data));
     }
-    try_finish_receive(inner, out);
+    try_finish_receive(flow, out);
 }
 
-fn try_finish_receive(inner: &mut UdtInner, out: &mut Vec<Action>) {
-    if let Some(final_seq) = inner.peer_fin_seq {
-        if inner.rcv_nxt >= final_seq {
+fn try_finish_receive(flow: &mut Flow, out: &mut Vec<Action>) {
+    if let Some(final_seq) = flow.peer_fin_seq {
+        if flow.rcv_nxt >= final_seq {
             out.push(Action::Send(UdtPacket::FinAck));
-            if !inner.closed_notified {
-                inner.closed_notified = true;
-                inner.state = State::Closed;
+            if !flow.closed_notified {
+                flow.closed_notified = true;
+                flow.state = State::Closed;
                 out.push(Action::Closed(CloseReason::Normal));
             }
         }
@@ -915,17 +1180,17 @@ fn collect_ranges(set: &BTreeSet<u64>, cap: usize) -> Vec<(u64, u64)> {
 
 /// Transmits one packet if allowed: retransmissions first, then new data,
 /// then a pending FIN. Returns the sequence sent (for pair scheduling).
-fn send_one(inner: &mut UdtInner, _now: SimTime, out: &mut Vec<Action>) -> Option<u64> {
+fn send_one(flow: &mut Flow, cfg: &UdtConfig, _now: SimTime, out: &mut Vec<Action>) -> Option<u64> {
     // 1. Retransmission.
-    while let Some(&seq) = inner.loss_list.iter().next() {
-        inner.loss_list.remove(&seq);
-        if seq < inner.snd_una {
+    while let Some(&seq) = flow.loss_list.iter().next() {
+        flow.loss_list.remove(&seq);
+        if seq < flow.snd_una {
             continue;
         }
-        if let Some(payload) = inner.packets.get(&seq) {
-            inner.stats.retransmits += 1;
-            inner.stats.packets_sent += 1;
-            inner.sent_in_syn += 1;
+        if let Some(payload) = flow.packets.get(&seq) {
+            flow.stats.retransmits += 1;
+            flow.stats.packets_sent += 1;
+            flow.sent_in_syn += 1;
             out.push(Action::Send(UdtPacket::Data {
                 seq,
                 probe: false,
@@ -935,19 +1200,19 @@ fn send_one(inner: &mut UdtInner, _now: SimTime, out: &mut Vec<Action>) -> Optio
         }
     }
     // 2. New data, if the flow window allows.
-    if !inner.send_q.is_empty() && inner.flight_pkts() < inner.flow_window_pkts() {
-        let head = inner.send_q.front_mut().expect("non-empty send queue");
-        let take = head.len().min(inner.cfg.mss);
+    if !flow.send_q.is_empty() && flow.flight_pkts() < flow_window_pkts(flow, cfg) {
+        let head = flow.send_q.front_mut().expect("non-empty send queue");
+        let take = head.len().min(cfg.mss);
         let payload = head.split_to(take);
         if head.is_empty() {
-            inner.send_q.pop_front();
+            flow.send_q.pop_front();
         }
-        inner.send_q_bytes -= take;
-        let seq = inner.snd_nxt;
-        inner.snd_nxt += 1;
-        inner.packets.insert(seq, payload.clone());
-        inner.stats.packets_sent += 1;
-        inner.sent_in_syn += 1;
+        flow.send_q_bytes -= take;
+        let seq = flow.snd_nxt;
+        flow.snd_nxt += 1;
+        flow.packets.insert(seq, payload.clone());
+        flow.stats.packets_sent += 1;
+        flow.sent_in_syn += 1;
         out.push(Action::Send(UdtPacket::Data {
             seq,
             probe: seq.is_multiple_of(16) && seq > 0,
@@ -956,49 +1221,85 @@ fn send_one(inner: &mut UdtInner, _now: SimTime, out: &mut Vec<Action>) -> Optio
         return Some(seq);
     }
     // 3. FIN once everything is out.
-    if inner.fin_queued && !inner.fin_sent && inner.send_q.is_empty() {
-        inner.fin_sent = true;
+    if flow.fin_queued && !flow.fin_sent && flow.send_q.is_empty() {
+        flow.fin_sent = true;
         out.push(Action::Send(UdtPacket::Fin {
-            final_seq: inner.snd_nxt,
+            final_seq: flow.snd_nxt,
         }));
     }
     None
 }
 
-fn restart_pacer(inner: &mut UdtInner, out: &mut Vec<Action>) {
-    if inner.pacer_active || inner.state != State::Established {
+fn restart_pacer(flow: &mut Flow, cfg: &UdtConfig, out: &mut Vec<Action>) {
+    if flow.pacer_active || flow.state != State::Established {
         return;
     }
-    let work = !inner.loss_list.is_empty()
-        || (!inner.send_q.is_empty() && inner.flight_pkts() < inner.flow_window_pkts())
-        || (inner.fin_queued && !inner.fin_sent);
+    let work = !flow.loss_list.is_empty()
+        || (!flow.send_q.is_empty() && flow.flight_pkts() < flow_window_pkts(flow, cfg))
+        || (flow.fin_queued && !flow.fin_sent);
     if work {
-        inner.pacer_active = true;
-        inner.pacer_gen += 1;
-        out.push(Action::SchedulePacer(Duration::ZERO, inner.pacer_gen));
+        flow.pacer_active = true;
+        flow.pacer_gen += 1;
+        out.push(Action::ArmPacer(Duration::ZERO, flow.pacer_gen));
     }
 }
 
-fn maybe_writable(inner: &mut UdtInner, out: &mut Vec<Action>) {
-    if inner.app_blocked
-        && inner.cfg.snd_buf.saturating_sub(inner.unacked_bytes) >= inner.cfg.mss
-    {
-        inner.app_blocked = false;
+fn maybe_writable(flow: &mut Flow, cfg: &UdtConfig, out: &mut Vec<Action>) {
+    if flow.app_blocked && cfg.snd_buf.saturating_sub(flow.unacked_bytes) >= cfg.mss {
+        flow.app_blocked = false;
         out.push(Action::Writable);
     }
 }
 
-struct ConnSink {
-    shared: Weak<UdtShared>,
+/// A simulated UDT connection handle.
+///
+/// Internally an 8-byte slab handle plus cached immutable endpoints; clones
+/// refer to the same flow. The last application handle of a connect-created
+/// flow kills the flow in place when dropped.
+pub struct UdtConn {
+    stack: Arc<UdtStack>,
+    h: Handle<Flow>,
+    id: ConnectionId,
+    local: Endpoint,
+    peer: Endpoint,
 }
 
-impl PacketSink for ConnSink {
-    fn on_packet(&self, _net: &Network, pkt: Packet) {
-        if let Some(shared) = self.shared.upgrade() {
-            if let PacketBody::Udt(p) = pkt.body {
-                shared.handle_packet(p);
-            }
+impl Clone for UdtConn {
+    fn clone(&self) -> Self {
+        self.stack.retain_handle(self.h);
+        UdtConn {
+            stack: self.stack.clone(),
+            h: self.h,
+            id: self.id,
+            local: self.local,
+            peer: self.peer,
         }
+    }
+}
+
+impl Drop for UdtConn {
+    fn drop(&mut self) {
+        self.stack.release_handle(self.h);
+    }
+}
+
+impl fmt::Debug for UdtConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (state, initiator, rate) = {
+            let inner = self.stack.inner.lock();
+            match inner.flows.get(self.h) {
+                Some(fl) => (Some(fl.state), fl.is_initiator, fl.current_rate_pps()),
+                None => (None, false, 0.0),
+            }
+        };
+        f.debug_struct("UdtConn")
+            .field("id", &self.id)
+            .field("local", &self.local)
+            .field("peer", &self.peer)
+            .field("state", &state)
+            .field("initiator", &initiator)
+            .field("rate_pps", &rate)
+            .finish()
     }
 }
 
@@ -1015,76 +1316,96 @@ impl UdtConn {
         cfg: UdtConfig,
         events: Arc<dyn StreamEvents>,
     ) -> Result<UdtConn, BindError> {
-        let port = net.alloc_ephemeral_port(node);
+        let stack = net.udt_stack();
+        let Some(port) = net.alloc_ephemeral_port(node, WireProtocol::Udt) else {
+            return Err(BindError {
+                endpoint: Endpoint::new(node, 0),
+                protocol: WireProtocol::Udt,
+            });
+        };
         let local = Endpoint::new(node, port);
         let now = net.sim().now();
         let id = ConnectionId::fresh(net.sim());
-        let shared = Arc::new(UdtShared {
+        net.bind(node, WireProtocol::Udt, port, stack.clone())?;
+        let h = {
+            let mut guard = stack.inner.lock();
+            let inner = &mut *guard;
+            let cfg_id = UdtStack::intern(&mut inner.configs, cfg);
+            let cfg = &inner.configs[cfg_id as usize];
+            let mut flow =
+                Flow::new(cfg_id, cfg, State::Connecting, local, dst, true, now, id.raw(), true);
+            flow.events = Some(events);
+            let h = inner.flows.insert(flow);
+            inner.conn_index.insert(pair_key(local, dst), h);
+            h
+        };
+        // Start the periodic tick chains, send the first handshake, and arm
+        // its retry — in the same order the previous representation
+        // scheduled them.
+        stack.process(h, |_flow, cfg, _rec, _now, out| {
+            out.push(Action::ArmSynTick(cfg.syn));
+            out.push(Action::ArmExpTick(cfg.exp_timeout));
+            out.push(Action::Send(UdtPacket::Handshake {
+                flow_window: cfg.rcv_buf as u64,
+            }));
+            out.push(Action::ArmHsRetry(Duration::from_millis(250), 1));
+        });
+        Ok(UdtConn {
+            stack,
+            h,
             id,
-            net: net.clone(),
-            inner: Mutex::new(UdtShared::new_inner(
-                cfg,
-                State::Connecting,
-                local,
-                dst,
-                true,
-                now,
-                id,
-                net.sim().recorder().clone(),
-            )),
-            events: Mutex::new(Some(events)),
-        });
-        let sink = Arc::new(ConnSink {
-            shared: Arc::downgrade(&shared),
-        });
-        net.bind(node, WireProtocol::Udt, port, sink)?;
-        shared.start_timers();
-        send_handshake(&shared, 0);
-        Ok(UdtConn { shared })
+            local,
+            peer: dst,
+        })
     }
 
     /// The connection id.
     #[must_use]
     pub fn id(&self) -> ConnectionId {
-        self.shared.id
+        self.id
     }
 
     /// Local endpoint.
     #[must_use]
     pub fn local(&self) -> Endpoint {
-        self.shared.inner.lock().local
+        self.local
     }
 
     /// Remote endpoint.
     #[must_use]
     pub fn peer(&self) -> Endpoint {
-        self.shared.inner.lock().peer
+        self.peer
     }
 
     /// Whether the handshake completed and the connection is open.
     #[must_use]
     pub fn is_established(&self) -> bool {
-        self.shared.inner.lock().state == State::Established
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .is_some_and(|f| f.state == State::Established)
     }
 
     /// Appends bytes to the send buffer; returns how many were accepted.
     pub fn send(&self, data: Bytes) -> usize {
         let mut accepted = 0;
-        self.shared.process(|inner, _now, out| {
-            if inner.state == State::Closed || inner.fin_queued {
+        self.stack.process(self.h, |flow, cfg, _rec, _now, out| {
+            if flow.state == State::Closed || flow.fin_queued {
                 return;
             }
-            let space = inner.cfg.snd_buf.saturating_sub(inner.unacked_bytes);
+            let space = cfg.snd_buf.saturating_sub(flow.unacked_bytes);
             let take = space.min(data.len());
             if take < data.len() {
-                inner.app_blocked = true;
+                flow.app_blocked = true;
             }
             if take > 0 {
-                inner.send_q.push_back(data.slice(0..take));
-                inner.send_q_bytes += take;
-                inner.unacked_bytes += take;
-                inner.stats.bytes_sent += take as u64;
-                restart_pacer(inner, out);
+                flow.send_q.push_back(data.slice(0..take));
+                flow.send_q_bytes += take;
+                flow.unacked_bytes += take;
+                flow.stats.bytes_sent += take as u64;
+                restart_pacer(flow, cfg, out);
             }
             accepted = take;
         });
@@ -1094,153 +1415,97 @@ impl UdtConn {
     /// Free space in the send buffer.
     #[must_use]
     pub fn free_send_buffer(&self) -> usize {
-        let inner = self.shared.inner.lock();
-        inner.cfg.snd_buf.saturating_sub(inner.unacked_bytes)
+        let mut guard = self.stack.inner.lock();
+        let inner = &mut *guard;
+        match inner.flows.get(self.h) {
+            Some(flow) => {
+                let cfg = &inner.configs[flow.cfg_id as usize];
+                cfg.snd_buf.saturating_sub(flow.unacked_bytes)
+            }
+            None => 0,
+        }
     }
 
     /// Bytes accepted but not yet acknowledged (queued + in flight).
     #[must_use]
     pub fn unacked_bytes(&self) -> usize {
-        self.shared.inner.lock().unacked_bytes
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .map_or(0, |f| f.unacked_bytes)
     }
 
     /// Cumulative payload bytes acknowledged by the receiver.
     #[must_use]
     pub fn acked_bytes(&self) -> u64 {
-        self.shared.inner.lock().stats.bytes_acked
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .map_or(0, |f| f.stats.bytes_acked)
     }
 
     /// RTT measured during the handshake (initiator side only).
     #[must_use]
     pub fn rtt_estimate(&self) -> Option<Duration> {
-        self.shared.inner.lock().rtt.map(Duration::from_secs_f64)
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .and_then(|f| f.rtt)
+            .map(Duration::from_secs_f64)
     }
 
     /// Orderly close: a FIN follows the last buffered byte.
     pub fn close(&self) {
-        self.shared.process(|inner, _now, out| {
-            if inner.fin_queued || inner.state == State::Closed {
+        self.stack.process(self.h, |flow, cfg, _rec, _now, out| {
+            if flow.fin_queued || flow.state == State::Closed {
                 return;
             }
-            inner.fin_queued = true;
-            restart_pacer(inner, out);
+            flow.fin_queued = true;
+            restart_pacer(flow, cfg, out);
         });
     }
 
     /// Per-connection counters.
     #[must_use]
     pub fn stats(&self) -> UdtConnStats {
-        self.shared.inner.lock().stats
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .map_or_else(UdtConnStats::default, |f| f.stats)
     }
 
     /// Current pacing rate in packets per second (diagnostics).
     #[must_use]
     pub fn rate_pps(&self) -> f64 {
-        self.shared.inner.lock().current_rate_pps()
+        self.stack
+            .inner
+            .lock()
+            .flows
+            .get(self.h)
+            .map_or(0.0, Flow::current_rate_pps)
     }
-}
-
-fn send_handshake(shared: &Arc<UdtShared>, attempt: u32) {
-    let retry = {
-        let inner = shared.inner.lock();
-        inner.state == State::Connecting
-    };
-    if !retry {
-        return;
-    }
-    if attempt > 12 {
-        shared.process(|inner, _now, out| {
-            if inner.state == State::Connecting && !inner.closed_notified {
-                inner.state = State::Closed;
-                inner.closed_notified = true;
-                out.push(Action::Closed(CloseReason::Timeout));
-            }
-        });
-        return;
-    }
-    shared.process(|inner, _now, out| {
-        out.push(Action::Send(UdtPacket::Handshake {
-            flow_window: inner.cfg.rcv_buf as u64,
-        }));
-    });
-    let weak = Arc::downgrade(shared);
-    shared
-        .net
-        .sim()
-        .schedule_in(Duration::from_millis(250), move |_| {
-            if let Some(shared) = weak.upgrade() {
-                send_handshake(&shared, attempt + 1);
-            }
-        });
-}
-
-struct ListenerShared {
-    net: Network,
-    local: Endpoint,
-    cfg: UdtConfig,
-    handler: Arc<dyn StreamAccept>,
-    conns: Mutex<std::collections::HashMap<Endpoint, Arc<UdtShared>>>,
 }
 
 /// A UDT listening socket that accepts incoming connections.
 #[derive(Clone)]
 pub struct UdtListener {
-    shared: Arc<ListenerShared>,
+    stack: Arc<UdtStack>,
+    local: Endpoint,
 }
 
 impl fmt::Debug for UdtListener {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("UdtListener")
-            .field("local", &self.shared.local)
+            .field("local", &self.local)
             .finish()
-    }
-}
-
-struct ListenerSink {
-    shared: Weak<ListenerShared>,
-}
-
-impl PacketSink for ListenerSink {
-    fn on_packet(&self, _net: &Network, pkt: Packet) {
-        let Some(listener) = self.shared.upgrade() else {
-            return;
-        };
-        let PacketBody::Udt(p) = pkt.body else {
-            return;
-        };
-        let existing = listener.conns.lock().get(&pkt.src).cloned();
-        if let Some(conn) = existing {
-            conn.handle_packet(p);
-            return;
-        }
-        let UdtPacket::Handshake { .. } = p else {
-            return; // stray packet for an unknown connection
-        };
-        let now = listener.net.sim().now();
-        let id = ConnectionId::fresh(listener.net.sim());
-        let shared = Arc::new(UdtShared {
-            id,
-            net: listener.net.clone(),
-            inner: Mutex::new(UdtShared::new_inner(
-                listener.cfg.clone(),
-                State::Connecting,
-                listener.local,
-                pkt.src,
-                false,
-                now,
-                id,
-                listener.net.sim().recorder().clone(),
-            )),
-            events: Mutex::new(None),
-        });
-        let conn = Connection::Udt(UdtConn {
-            shared: shared.clone(),
-        });
-        let events = listener.handler.on_accept(&conn);
-        *shared.events.lock() = Some(events);
-        listener.conns.lock().insert(pkt.src, shared.clone());
-        shared.start_timers();
-        shared.handle_packet(p);
     }
 }
 
@@ -1257,30 +1522,40 @@ impl UdtListener {
         cfg: UdtConfig,
         handler: Arc<dyn StreamAccept>,
     ) -> Result<UdtListener, BindError> {
-        let shared = Arc::new(ListenerShared {
-            net: net.clone(),
-            local: Endpoint::new(node, port),
-            cfg,
-            handler,
-            conns: Mutex::new(std::collections::HashMap::new()),
-        });
-        let sink = Arc::new(ListenerSink {
-            shared: Arc::downgrade(&shared),
-        });
-        net.bind(node, WireProtocol::Udt, port, sink)?;
-        Ok(UdtListener { shared })
+        let stack = net.udt_stack();
+        net.bind(node, WireProtocol::Udt, port, stack.clone())?;
+        let local = Endpoint::new(node, port);
+        {
+            let mut guard = stack.inner.lock();
+            let inner = &mut *guard;
+            let cfg_id = UdtStack::intern(&mut inner.configs, cfg);
+            inner.listeners.insert(
+                ep_key(local),
+                ListenerEntry {
+                    cfg_id,
+                    handler,
+                    conns: FxHashMap::default(),
+                },
+            );
+        }
+        Ok(UdtListener { stack, local })
     }
 
     /// The listening endpoint.
     #[must_use]
     pub fn local(&self) -> Endpoint {
-        self.shared.local
+        self.local
     }
 
     /// Number of accepted connections.
     #[must_use]
     pub fn connection_count(&self) -> usize {
-        self.shared.conns.lock().len()
+        self.stack
+            .inner
+            .lock()
+            .listeners
+            .get(&ep_key(self.local))
+            .map_or(0, |e| e.conns.len())
     }
 }
 
