@@ -268,6 +268,10 @@ pub fn run_in_world(world: &TwoHostWorld, cfg: &ExperimentConfig) -> ExperimentR
             })
         });
         world.system.connect::<NetworkPort, _, _>(&b_net, &receiver);
+        // Free while the recorder is disabled: instants check the enable
+        // flag before allocating a span id.
+        let tracer = world.sim.recorder().tracer();
+        receiver.on_definition(move |r| r.attach_tracer(tracer));
         let rx_stats = receiver.on_definition(|r| r.stats());
         (sender, receiver, rx_stats, dataset)
     });

@@ -327,6 +327,7 @@ pub struct FileReceiver {
     window_udt: u64,
     window_started: SimTime,
     stats: ReceiverStatsHandle,
+    tracer: Option<kmsg_telemetry::Tracer>,
 }
 
 impl std::fmt::Debug for FileReceiver {
@@ -353,7 +354,15 @@ impl FileReceiver {
             window_udt: 0,
             window_started: SimTime::ZERO,
             stats: Arc::new(Mutex::new(ReceiverStats::default())),
+            tracer: None,
         }
+    }
+
+    /// Bridges duplicate-suppression into a telemetry recorder: each chunk
+    /// absorbed by offset dedup leaves a root `dedup` instant span keyed by
+    /// the duplicated offset.
+    pub fn attach_tracer(&mut self, tracer: kmsg_telemetry::Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// The live stats handle.
@@ -425,6 +434,16 @@ impl Require<NetworkPort> for FileReceiver {
         let mut stats = self.stats.lock();
         if !self.seen_offsets.insert(chunk.offset) {
             stats.duplicates += 1;
+            if let Some(tr) = &self.tracer {
+                use kmsg_telemetry::{SpanId, SpanKind};
+                tr.instant(
+                    now.as_nanos(),
+                    SpanKind::Dedup,
+                    SpanId::NONE,
+                    SpanId::NONE,
+                    chunk.offset,
+                );
+            }
             return;
         }
         // Offsets are sent in strictly increasing global order, so a fresh

@@ -50,6 +50,10 @@ fn chaos_config(seed: u64) -> ExperimentConfig {
     cfg.net_template = Some(impatient_template());
     cfg.max_sim_time = Duration::from_secs(120);
     cfg.telemetry = true;
+    // Causal spans stamp every packet flight and transport segment, so a
+    // 12 MB transfer far outgrows the 64k default ring; keep the whole
+    // run (faults at t=0.6s included) resident.
+    cfg.telemetry_capacity = Some(1 << 21);
     cfg.faults = Some(FaultPlan::new().partition_between(
         SimTime::from_millis(600),
         SimTime::from_millis(2600),

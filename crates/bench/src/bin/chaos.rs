@@ -25,6 +25,7 @@ use kmsg_netsim::faults::FaultPlan;
 use kmsg_netsim::link::LinkConfig;
 use kmsg_netsim::packet::NodeId;
 use kmsg_netsim::time::SimTime;
+use kmsg_telemetry::critical_path::{recovery_attribution, self_profile, SpanForest};
 use kmsg_telemetry::EventKind;
 
 /// The partition window (simulated milliseconds).
@@ -201,6 +202,64 @@ fn main() {
         rec.gauge(&format!("chaos/drops/{reason}/bytes")).set(bytes as f64);
     }
 
+    // Causal-span attribution: decompose the measured recovery window into
+    // where supervision actually spent it. The components partition the
+    // window exactly, and the window edges are stamped at the same engine
+    // instants as the ConnStatus transitions, so the span-derived total
+    // must reproduce the event-derived recovery latency.
+    let events = rec.events();
+    let forest = SpanForest::build(&events);
+    let att = recovery_attribution(&forest).expect("a closed outage span after the heal");
+    let measured_ns =
+        u64::try_from(recovery.expect("recovery observed").as_nanos()).expect("fits u64");
+    assert!(
+        att.total_ns.abs_diff(measured_ns) <= 1,
+        "span attribution window ({} ns) must equal the measured recovery \
+         latency ({measured_ns} ns)",
+        att.total_ns
+    );
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let summary = att
+        .components
+        .iter()
+        .filter(|(_, ns)| *ns > 0)
+        .map(|(label, ns)| format!("{:.0} ms {label}", ms(*ns)))
+        .collect::<Vec<_>>()
+        .join(" + ");
+    kmsg_telemetry::log_info!(
+        "\nrecovery attribution: {:.2} s recovery = {summary}",
+        ms(att.total_ns) / 1e3
+    );
+    kmsg_telemetry::log_info!("{:<28} {:>10}", "component", "ms");
+    kmsg_bench::rule(41);
+    for (label, ns) in &att.components {
+        kmsg_telemetry::log_info!("{label:<28} {:>10.2}", ms(*ns));
+        rec.gauge(&format!("chaos/recovery/{label}_ms")).set(ms(*ns));
+    }
+    kmsg_telemetry::log_info!("{:<28} {:>10.2}", "total", ms(att.total_ns));
+
+    // Per-kind self-time profile of the whole run (flame-graph totals).
+    kmsg_telemetry::log_info!(
+        "\n{:<14} {:>8} {:>14} {:>14}",
+        "span kind", "count", "total ms", "self ms"
+    );
+    kmsg_bench::rule(54);
+    for row in self_profile(&forest) {
+        kmsg_telemetry::log_info!(
+            "{:<14} {:>8} {:>14.2} {:>14.2}",
+            row.kind,
+            row.count,
+            ms(row.total_ns),
+            ms(row.self_ns)
+        );
+    }
+
+    // Per-kind ring eviction counters (all zero when the capacity bound
+    // above holds; nonzero values name exactly which event kinds were
+    // dropped).
+    rec.publish_overflow_gauges();
+
+    kmsg_bench::write_trace_out(&args, rec);
     rec.write_snapshot("chaos.json").expect("write chaos.json");
     rec.write_jsonl("chaos.jsonl").expect("write chaos.jsonl");
     kmsg_telemetry::log_info!("\nWrote chaos.json and chaos.jsonl");

@@ -59,6 +59,7 @@ fn main() {
          at wire scale. At 3/100 even Pattern cannot be tight within 16\n\
          messages (majority runs exceed the wire window)."
     );
+    kmsg_bench::write_trace_out(&args, &rec);
     rec.write_snapshot("telemetry.json")
         .expect("write telemetry.json");
     kmsg_telemetry::log_info!("\nWrote telemetry.json");

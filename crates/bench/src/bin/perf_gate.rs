@@ -1,0 +1,229 @@
+//! **perf_gate** — CI guard against engine performance regressions.
+//!
+//! Compares a freshly produced `BENCH_engine.json` / `BENCH_scale.json`
+//! (written by the `timing_probe` binary) against the committed baselines
+//! at the repository root and exits nonzero when any tracked metric
+//! regressed beyond the tolerance. Rows are matched by key (engine name,
+//! host count), so a `--quick` probe that covers only a subset of the
+//! committed rows gates exactly that subset.
+//!
+//! ```text
+//! cargo run --release -p kmsg-bench --bin perf_gate -- \
+//!     [--baseline-dir DIR] [--fresh-dir DIR] [--tolerance FRAC]
+//! ```
+//!
+//! * `--baseline-dir` — directory holding the committed baselines
+//!   (default `.`). CI copies them aside before `timing_probe` overwrites
+//!   the working tree.
+//! * `--fresh-dir` — directory holding the fresh probe output
+//!   (default `.`).
+//! * `--tolerance` — allowed relative slowdown as a fraction
+//!   (default `0.5`, i.e. a metric may be up to 50% worse than the
+//!   baseline before the gate trips — wall-clock rates on shared CI
+//!   runners are noisy; the gate catches step-change regressions, not
+//!   single-digit drift).
+//!
+//! Tracked metrics:
+//!
+//! * engine: `events_per_sec` per engine/workload row (higher is better);
+//! * scale: `events_per_sec` per host-count row (higher is better) and
+//!   `bytes_per_flow` (lower is better — this one is allocation
+//!   accounting, deterministic per seed, so a real increase always means
+//!   a real regression).
+
+use std::process::ExitCode;
+
+use kmsg_oracle::Json;
+
+/// One gated comparison: a labelled metric with its direction.
+struct Check {
+    label: String,
+    baseline: f64,
+    fresh: f64,
+    /// `true` when larger values are better (throughput-style metrics).
+    higher_is_better: bool,
+}
+
+impl Check {
+    /// Relative change in the "worse" direction (positive = regressed).
+    fn regression(&self) -> f64 {
+        if self.baseline == 0.0 {
+            return 0.0;
+        }
+        let delta = (self.fresh - self.baseline) / self.baseline;
+        if self.higher_is_better {
+            -delta
+        } else {
+            delta
+        }
+    }
+}
+
+fn load(dir: &str, file: &str) -> Json {
+    let path = format!("{dir}/{file}");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("perf_gate: cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("perf_gate: {path} is not valid JSON: {e}"))
+}
+
+fn num(doc: &Json, row: &Json, field: &str, what: &str) -> Option<f64> {
+    let v = row.get(field).and_then(Json::as_f64);
+    if v.is_none() {
+        kmsg_telemetry::log_info!(
+            "perf_gate: note: {what} row missing numeric '{field}' in {}",
+            doc.get("benchmark")
+                .and_then(Json::as_str)
+                .unwrap_or("<unnamed>")
+        );
+    }
+    v
+}
+
+/// Engine probe: rows keyed by `name`, gated on `events_per_sec`.
+fn engine_checks(baseline: &Json, fresh: &Json, out: &mut Vec<Check>) {
+    let base_rows = baseline.get("engines").and_then(Json::as_arr).unwrap_or(&[]);
+    let fresh_rows = fresh.get("engines").and_then(Json::as_arr).unwrap_or(&[]);
+    for b in base_rows {
+        let Some(name) = b.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(f) = fresh_rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            kmsg_telemetry::log_info!("perf_gate: note: engine '{name}' absent from fresh run");
+            continue;
+        };
+        if let (Some(bv), Some(fv)) = (
+            num(baseline, b, "events_per_sec", "engine"),
+            num(fresh, f, "events_per_sec", "engine"),
+        ) {
+            out.push(Check {
+                label: format!("engine/{name}/events_per_sec"),
+                baseline: bv,
+                fresh: fv,
+                higher_is_better: true,
+            });
+        }
+    }
+}
+
+/// Scale probe: rows keyed by `hosts`, gated on `events_per_sec` and
+/// `bytes_per_flow`.
+fn scale_checks(baseline: &Json, fresh: &Json, out: &mut Vec<Check>) {
+    let base_rows = baseline.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    let fresh_rows = fresh.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    for b in base_rows {
+        let Some(hosts) = b.get("hosts").and_then(Json::as_u64) else {
+            continue;
+        };
+        let Some(f) = fresh_rows
+            .iter()
+            .find(|r| r.get("hosts").and_then(Json::as_u64) == Some(hosts))
+        else {
+            kmsg_telemetry::log_info!(
+                "perf_gate: note: {hosts}-host row absent from fresh run (quick probe)"
+            );
+            continue;
+        };
+        for (field, higher_is_better) in [("events_per_sec", true), ("bytes_per_flow", false)] {
+            if let (Some(bv), Some(fv)) = (
+                num(baseline, b, field, "scale"),
+                num(fresh, f, field, "scale"),
+            ) {
+                out.push(Check {
+                    label: format!("scale/{hosts}-hosts/{field}"),
+                    baseline: bv,
+                    fresh: fv,
+                    higher_is_better,
+                });
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut baseline_dir = ".".to_string();
+    let mut fresh_dir = ".".to_string();
+    let mut tolerance = 0.5_f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline-dir" => {
+                baseline_dir = args.next().expect("--baseline-dir takes a directory");
+            }
+            "--fresh-dir" => {
+                fresh_dir = args.next().expect("--fresh-dir takes a directory");
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance takes a fraction, e.g. 0.5");
+            }
+            other => panic!("perf_gate: unknown flag {other}"),
+        }
+    }
+    assert!(
+        tolerance >= 0.0 && tolerance.is_finite(),
+        "--tolerance must be a non-negative fraction"
+    );
+
+    let mut checks = Vec::new();
+    engine_checks(
+        &load(&baseline_dir, "BENCH_engine.json"),
+        &load(&fresh_dir, "BENCH_engine.json"),
+        &mut checks,
+    );
+    scale_checks(
+        &load(&baseline_dir, "BENCH_scale.json"),
+        &load(&fresh_dir, "BENCH_scale.json"),
+        &mut checks,
+    );
+    assert!(
+        !checks.is_empty(),
+        "perf_gate: no comparable rows between baseline and fresh output"
+    );
+
+    kmsg_telemetry::log_info!(
+        "perf gate — tolerance {:.0}% ({} comparable metrics)\n",
+        tolerance * 100.0,
+        checks.len()
+    );
+    kmsg_telemetry::log_info!(
+        "{:<36} {:>14} {:>14} {:>9}  verdict",
+        "metric", "baseline", "fresh", "change"
+    );
+    kmsg_bench::rule(88);
+
+    let mut regressed = 0usize;
+    for c in &checks {
+        let delta = if c.baseline == 0.0 {
+            0.0
+        } else {
+            (c.fresh - c.baseline) / c.baseline
+        };
+        let bad = c.regression() > tolerance;
+        if bad {
+            regressed += 1;
+        }
+        kmsg_telemetry::log_info!(
+            "{:<36} {:>14.1} {:>14.1} {:>+8.1}%  {}",
+            c.label,
+            c.baseline,
+            c.fresh,
+            delta * 100.0,
+            if bad { "REGRESSED" } else { "ok" }
+        );
+    }
+
+    if regressed > 0 {
+        kmsg_telemetry::log_info!(
+            "\nperf gate FAILED: {regressed} metric(s) regressed beyond {:.0}%",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    kmsg_telemetry::log_info!("\nperf gate passed: no metric regressed beyond the tolerance");
+    ExitCode::SUCCESS
+}

@@ -565,6 +565,7 @@ fn main() {
     let mut cfg = ExperimentConfig::transfer(Setup::Eu2Us, Transport::Data, dataset, args.seed);
     cfg.telemetry = true;
     let r = run_experiment(&cfg);
+    kmsg_bench::write_trace_out(&args, &r.recorder);
     r.recorder
         .write_snapshot("telemetry.json")
         .expect("write telemetry.json");

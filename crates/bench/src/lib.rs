@@ -42,6 +42,9 @@ pub struct BenchArgs {
     pub quick: bool,
     /// Verbose mode: `--verbose` raises logging to `Debug`.
     pub verbose: bool,
+    /// `--trace-out FILE`: write the run's causal spans as a Chrome
+    /// trace-event JSON file (open in Perfetto / `chrome://tracing`).
+    pub trace_out: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -54,6 +57,7 @@ impl Default for BenchArgs {
             jobs: sweep::default_jobs(),
             quick: false,
             verbose: false,
+            trace_out: None,
         }
     }
 }
@@ -104,12 +108,27 @@ impl BenchArgs {
                     out.min_reps = 3;
                 }
                 "--verbose" => out.verbose = true,
+                "--trace-out" => {
+                    out.trace_out = Some(args.next().expect("--trace-out takes a file path"));
+                }
                 other => panic!("unknown flag {other}; see kmsg-bench docs"),
             }
         }
         kmsg_telemetry::log::set_verbose(out.verbose);
         out
     }
+}
+
+/// Honours `--trace-out`: writes the recorder's events as a Chrome
+/// trace-event JSON file (openable in Perfetto or `chrome://tracing`).
+/// No-op when the flag was not given.
+pub fn write_trace_out(args: &BenchArgs, rec: &kmsg_telemetry::Recorder) {
+    let Some(path) = &args.trace_out else {
+        return;
+    };
+    let trace = kmsg_telemetry::export::to_chrome_trace(&rec.events());
+    std::fs::write(path, &trace).expect("write --trace-out file");
+    kmsg_telemetry::log_info!("trace: wrote {} bytes to {path}", trace.len());
 }
 
 /// Repeats `run` (seeded per repetition) until the relative standard error

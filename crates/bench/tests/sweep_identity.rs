@@ -43,6 +43,38 @@ fn fuzz_sweep_byte_identical_at_jobs_1_and_4() {
     }
 }
 
+/// Runs one fuzz scenario under the sweep runner and exports its causal
+/// spans as a Chrome trace (`--trace-out` format).
+fn chrome_trace_artifacts(jobs: usize, seeds: std::ops::Range<u64>) -> Vec<String> {
+    sweep::map(jobs, seeds.collect(), |_idx, seed: u64| {
+        let spec = ScenarioSpec::generate(seed);
+        let (run, _) = check_spec(&spec);
+        kmsg_telemetry::export::to_chrome_trace(&run.result.recorder.events())
+    })
+}
+
+#[test]
+fn chrome_trace_byte_identical_at_jobs_1_and_4() {
+    // The trace export is a pure function of the event stream and span ids
+    // come from a per-world counter, so the rendered Perfetto JSON must be
+    // byte-identical at any sweep width.
+    let sequential = chrome_trace_artifacts(1, 0..6);
+    let parallel = chrome_trace_artifacts(4, 0..6);
+    assert_eq!(sequential.len(), parallel.len());
+    for (seed, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert!(
+            s == p,
+            "seed {seed}: chrome traces diverged ({} vs {} bytes)",
+            s.len(),
+            p.len()
+        );
+        assert!(
+            s.contains("\"traceEvents\":["),
+            "seed {seed}: trace export missing its envelope"
+        );
+    }
+}
+
 /// Runs the Figure 1 sweep at a given parallelism, returning the table
 /// rows and the rendered telemetry snapshot.
 fn fig1_artifacts(jobs: usize, entries: usize) -> (Vec<String>, String) {

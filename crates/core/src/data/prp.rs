@@ -151,12 +151,23 @@ impl TdRatioLearner {
     /// Bridges this learner's decisions into a telemetry recorder as
     /// [`EventKind::Decision`] events tagged with `flow`. Timestamps come
     /// from the [`EpisodeObservation::time`] of the episode being consumed,
-    /// so two same-seed runs emit identical streams.
+    /// so two same-seed runs emit identical streams. Each decision also
+    /// leaves a root `decide` instant span keyed by the flow, so traces
+    /// show when the learner adjusted the split ratio.
     pub fn attach_recorder(&mut self, rec: Recorder, flow: u64) {
         let now_ns = self.now_ns.clone();
+        let tracer = rec.tracer();
         self.sarsa.set_probe(Some(Box::new(move |d: DecisionRecord| {
+            let t = now_ns.load(Ordering::Relaxed);
+            tracer.instant(
+                t,
+                kmsg_telemetry::SpanKind::Decide,
+                kmsg_telemetry::SpanId::NONE,
+                kmsg_telemetry::SpanId::NONE,
+                flow,
+            );
             rec.record(
-                now_ns.load(Ordering::Relaxed),
+                t,
                 EventKind::Decision {
                     flow,
                     step: d.step,
@@ -391,16 +402,31 @@ mod tests {
             ratio = learner.episode_update(&o);
         }
         let events = rec.events();
-        assert_eq!(events.len(), 5, "one decision per episode");
-        for (i, e) in events.iter().enumerate() {
-            assert_eq!(e.time_ns, (i as u64 + 1) * 1_000_000_000);
+        // Each episode records one Decision plus a zero-duration `decide`
+        // span (open + close instants) on the same timestamp.
+        assert_eq!(events.len(), 15, "three events per episode");
+        let mut spans = 0usize;
+        let mut decisions = Vec::new();
+        for e in &events {
             match e.kind {
                 EventKind::Decision { flow, step, .. } => {
                     assert_eq!(flow, 7);
-                    assert_eq!(step, i as u64);
+                    decisions.push((e.time_ns, step));
                 }
+                EventKind::SpanOpen { kind, key, .. } => {
+                    assert_eq!(kind, "decide");
+                    assert_eq!(key, 7);
+                    spans += 1;
+                }
+                EventKind::SpanClose { .. } => {}
                 ref other => panic!("unexpected event {other:?}"),
             }
+        }
+        assert_eq!(spans, 5, "one decide span per episode");
+        assert_eq!(decisions.len(), 5);
+        for (i, (t, step)) in decisions.iter().enumerate() {
+            assert_eq!(*t, (i as u64 + 1) * 1_000_000_000);
+            assert_eq!(*step, i as u64);
         }
     }
 

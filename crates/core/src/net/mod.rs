@@ -38,7 +38,7 @@ use kmsg_netsim::udp::{UdpEvents, UdpSocket, MAX_DATAGRAM};
 use kmsg_netsim::udt::{UdtConfig, UdtConn, UdtListener};
 
 use kmsg_netsim::rng::RngStream;
-use kmsg_telemetry::EventKind;
+use kmsg_telemetry::{EventKind, SpanId, SpanKind, Tracer};
 use rand::Rng;
 
 use crate::address::{Address, NetAddress};
@@ -314,10 +314,32 @@ struct ChannelKey {
     transport: Transport,
 }
 
+/// Span close key: the covered work completed normally.
+const SPAN_OK: u64 = 0;
+/// Span close key: the covered work failed (send error, channel death,
+/// retry budget exhausted).
+const SPAN_FAILED: u64 = 1;
+
+/// Packs an endpoint into a span correlation key — the same
+/// `node_index << 16 | port` encoding `ConnStatus` events use for `peer`.
+fn peer_key(ep: Endpoint) -> u64 {
+    (u64::from(ep.node.index()) << 16) | u64::from(ep.port)
+}
+
+/// Span key of one supervised channel: transport byte above the peer key.
+fn channel_span_key(key: ChannelKey) -> u64 {
+    (u64::from(key.transport.to_byte()) << 48) | peer_key(key.remote)
+}
+
 struct OutFrame {
     bytes: Bytes,
     written: usize,
     notify: Option<NotifyToken>,
+    /// Raw id of the message's `msg` root span (0 when tracing is off).
+    msg_span: u64,
+    /// Raw id of the open `enqueue` span covering this frame's wait in the
+    /// pending queue.
+    enq_span: u64,
 }
 
 /// A fully written frame waiting for the transport to acknowledge its last
@@ -328,6 +350,11 @@ struct AckFrame {
     end: u64,
     bytes: Bytes,
     notify: Option<NotifyToken>,
+    /// Raw id of the message's `msg` root span (0 when tracing is off).
+    msg_span: u64,
+    /// Raw id of the open `xmit` span: first byte written → last byte
+    /// acknowledged by the transport.
+    xmit_span: u64,
 }
 
 /// Lifecycle of a supervised channel (DESIGN.md §9).
@@ -361,6 +388,17 @@ struct ChannelState {
     awaiting_ack: VecDeque<AckFrame>,
     decoder: FrameDecoder,
     last_activity: kmsg_netsim::time::SimTime,
+    /// Raw id of the open `outage` supervision span (0 while healthy).
+    /// Opened at the `ConnectionLost` transition, closed at
+    /// `ConnectionRestored` (key 0) or `ConnectionDropped` (key 1) — the
+    /// same code points and timestamps as the status events, so the span
+    /// window equals the observed recovery latency exactly.
+    outage_span: u64,
+    /// Raw id of the open `backoff` span (retry timer armed → fired).
+    backoff_span: u64,
+    /// Raw id of the open `redial` span (connect issued → Connected or the
+    /// attempt's Closed event).
+    redial_span: u64,
 }
 
 impl ChannelState {
@@ -374,6 +412,9 @@ impl ChannelState {
             awaiting_ack: VecDeque::new(),
             decoder: FrameDecoder::new(),
             last_activity: kmsg_netsim::time::SimTime::ZERO,
+            outage_span: 0,
+            backoff_span: 0,
+            redial_span: 0,
         }
     }
 
@@ -494,14 +535,41 @@ impl NetworkComponent {
         }));
     }
 
+    /// The component's span tracer. Owned (it clones the recorder handle),
+    /// so holding one never extends a borrow of the component; every call
+    /// on it early-outs on one relaxed load while tracing is off.
+    fn tracer(&self) -> Tracer {
+        self.net.sim().recorder().tracer()
+    }
+
+    /// Current virtual time in nanoseconds.
+    fn now_ns(&self) -> u64 {
+        self.net.sim().now().as_nanos()
+    }
+
     // --- outbound -------------------------------------------------------
 
     fn handle_send(&mut self, token: Option<NotifyToken>, mut msg: NetMessage) {
         let dst = *msg.header().destination();
+        // Every message gets a `msg` root span at the send edge; its id
+        // doubles as the trace id for all downstream spans (enqueue, xmit,
+        // channel pick). Forwarded multi-hop messages re-enter here and get
+        // a fresh per-relay root, so each middleware hop is attributable.
+        let tr = self.tracer();
+        let now_ns = self.now_ns();
+        let msg_span = tr.open_root(now_ns, SpanKind::Msg, peer_key(dst.as_socket()));
         // Same-socket delivery: virtual nodes (or self-sends) are reflected
         // without serialisation (§III-B).
         if dst.as_socket() == self.cfg.addr.as_socket() {
             self.stats.lock().local_reflections += 1;
+            tr.instant(
+                now_ns,
+                SpanKind::Deliver,
+                msg_span,
+                msg_span,
+                peer_key(dst.as_socket()),
+            );
+            tr.close(now_ns, msg_span);
             self.port.trigger(NetIndication::Msg(msg));
             self.notify(token, DeliveryStatus::DeliveredLocally);
             return;
@@ -517,6 +585,7 @@ impl NetworkComponent {
                     }
                 }
                 None => {
+                    tr.close_with(now_ns, msg_span, SPAN_FAILED);
                     self.fail(token, SendError::UnresolvedDataProtocol);
                     return;
                 }
@@ -549,28 +618,57 @@ impl NetworkComponent {
                     h.selected = Some(alt);
                 }
                 self.stats.lock().failovers += 1;
+                tr.instant(
+                    now_ns,
+                    SpanKind::Failover,
+                    msg_span,
+                    msg_span,
+                    u64::from(alt.to_byte()),
+                );
             }
         }
+        // The transport the message will actually travel over, after DATA
+        // fallback and failover resolution.
+        tr.instant(
+            now_ns,
+            SpanKind::ChannelPick,
+            msg_span,
+            msg_span,
+            u64::from(proto.to_byte()),
+        );
         let encoded = match encode_frame(&msg, self.cfg.compression) {
             Ok(f) => f,
             Err(_) => {
+                tr.close_with(now_ns, msg_span, SPAN_FAILED);
                 self.fail(token, SendError::Serialisation);
                 return;
             }
         };
         match proto {
-            Transport::Udp => self.send_udp(token, dst, encoded),
-            Transport::Tcp | Transport::Udt => self.send_stream(token, proto, dst, encoded),
+            Transport::Udp => self.send_udp(token, dst, encoded, msg_span),
+            Transport::Tcp | Transport::Udt => {
+                self.send_stream(token, proto, dst, encoded, msg_span);
+            }
             Transport::Data => unreachable!("resolved above"),
         }
     }
 
-    fn send_udp(&mut self, token: Option<NotifyToken>, dst: NetAddress, frame: Bytes) {
+    fn send_udp(
+        &mut self,
+        token: Option<NotifyToken>,
+        dst: NetAddress,
+        frame: Bytes,
+        msg_span: SpanId,
+    ) {
+        let tr = self.tracer();
+        let now_ns = self.now_ns();
         if frame.len() > MAX_DATAGRAM {
+            tr.close_with(now_ns, msg_span, SPAN_FAILED);
             self.fail(token, SendError::TooLargeForUdp);
             return;
         }
         let Some(udp) = &self.udp else {
+            tr.close_with(now_ns, msg_span, SPAN_FAILED);
             self.fail(token, SendError::Unreachable);
             return;
         };
@@ -581,9 +679,15 @@ impl NetworkComponent {
                 stats.sent[Transport::Udp.to_byte() as usize] += 1;
                 stats.bytes_out += len;
                 drop(stats);
+                // Fire-and-forget: the datagram is on the wire, which is
+                // as far as the middleware can attribute UDP.
+                tr.close(now_ns, msg_span);
                 self.notify(token, DeliveryStatus::Sent);
             }
-            Err(_) => self.fail(token, SendError::TooLargeForUdp),
+            Err(_) => {
+                tr.close_with(now_ns, msg_span, SPAN_FAILED);
+                self.fail(token, SendError::TooLargeForUdp);
+            }
         }
     }
 
@@ -593,7 +697,10 @@ impl NetworkComponent {
         proto: Transport,
         dst: NetAddress,
         frame: Bytes,
+        msg_span: SpanId,
     ) {
+        let tr = self.tracer();
+        let now_ns = self.now_ns();
         let key = ChannelKey {
             remote: dst.as_socket(),
             transport: proto,
@@ -603,11 +710,13 @@ impl NetworkComponent {
             // dead connection. (DATA traffic fails over before reaching
             // here; explicit sends fail fast until a probe restores it.)
             if channel.phase == Phase::Dropped {
+                tr.close_with(now_ns, msg_span, SPAN_FAILED);
                 self.fail(token, SendError::RetryBudgetExhausted);
                 return;
             }
         } else if let Err(e) = self.open_channel(key) {
             let _ = e;
+            tr.close_with(now_ns, msg_span, SPAN_FAILED);
             self.fail(token, SendError::Unreachable);
             return;
         }
@@ -617,6 +726,18 @@ impl NetworkComponent {
             bytes: frame,
             written: 0,
             notify: token,
+            msg_span: msg_span.raw(),
+            // `enqueue` covers the frame's wait in the pending queue: from
+            // here until its last byte is handed to the transport.
+            enq_span: tr
+                .open(
+                    now_ns,
+                    SpanKind::Enqueue,
+                    msg_span,
+                    msg_span,
+                    channel_span_key(key),
+                )
+                .raw(),
         });
         channel.last_activity = now;
         if channel.established() {
@@ -659,6 +780,8 @@ impl NetworkComponent {
 
     fn drain_channel(&mut self, key: ChannelKey) {
         let now = self.net.sim().now();
+        let tr = self.tracer();
+        let now_ns = now.as_nanos();
         let Some(channel) = self.channels.get_mut(&key) else {
             return;
         };
@@ -676,6 +799,17 @@ impl NetworkComponent {
             if front.written == front.bytes.len() {
                 let done = channel.pending.pop_front().expect("front exists");
                 msgs_out += 1;
+                // Queue wait over; the frame is now the transport's
+                // problem — `xmit` covers it until its last byte is acked.
+                tr.close(now_ns, SpanId::from_raw(done.enq_span));
+                let msg_span = SpanId::from_raw(done.msg_span);
+                let xmit = tr.open(
+                    now_ns,
+                    SpanKind::Xmit,
+                    msg_span,
+                    msg_span,
+                    channel.written_total,
+                );
                 // Retained until the transport acknowledges the frame's
                 // last byte: notifications fire then, and supervision can
                 // requeue the frame if the connection dies first.
@@ -683,6 +817,8 @@ impl NetworkComponent {
                     end: channel.written_total,
                     bytes: done.bytes,
                     notify: done.notify,
+                    msg_span: done.msg_span,
+                    xmit_span: xmit.raw(),
                 });
             } else {
                 break; // transport buffer full; resume on Writable
@@ -711,15 +847,21 @@ impl NetworkComponent {
         while let Some(front) = channel.awaiting_ack.front() {
             if front.end <= delivered {
                 let frame = channel.awaiting_ack.pop_front().expect("front exists");
-                if let Some(t) = frame.notify {
-                    done.push(t);
-                }
+                done.push((frame.notify, frame.xmit_span, frame.msg_span));
             } else {
                 break;
             }
         }
-        for t in done {
-            self.notify(Some(t), DeliveryStatus::Sent);
+        let tr = self.tracer();
+        let now_ns = self.now_ns();
+        for (notify, xmit_span, msg_span) in done {
+            // The transport acked the frame's last byte: transmission and
+            // the whole message lifecycle complete here.
+            tr.close(now_ns, SpanId::from_raw(xmit_span));
+            tr.close(now_ns, SpanId::from_raw(msg_span));
+            if let Some(t) = notify {
+                self.notify(Some(t), DeliveryStatus::Sent);
+            }
         }
     }
 
@@ -729,11 +871,20 @@ impl NetworkComponent {
         match event {
             NetEvent::Connected(id) => {
                 if let Some(&key) = self.conn_index.get(&id) {
+                    let tr = self.tracer();
+                    let now_ns = self.now_ns();
                     if let Some(channel) = self.channels.get_mut(&key) {
                         let prev = channel.phase;
                         channel.phase = Phase::Established;
+                        // The redial that produced this handshake — and the
+                        // outage it belongs to — end here, at the same
+                        // instant the `restored` status is stamped.
+                        let redial = std::mem::take(&mut channel.redial_span);
+                        let outage = std::mem::take(&mut channel.outage_span);
                         match prev {
                             Phase::Reconnecting { attempts } => {
+                                tr.close(now_ns, SpanId::from_raw(redial));
+                                tr.close(now_ns, SpanId::from_raw(outage));
                                 self.stats.lock().reconnects += 1;
                                 self.emit_status(
                                     key,
@@ -741,7 +892,10 @@ impl NetworkComponent {
                                 );
                             }
                             Phase::Dropped => {
-                                // A post-budget probe got through.
+                                // A post-budget probe got through (the
+                                // outage span already closed at the drop).
+                                tr.close(now_ns, SpanId::from_raw(redial));
+                                tr.close(now_ns, SpanId::from_raw(outage));
                                 self.stats.lock().reconnects += 1;
                                 self.emit_status(
                                     key,
@@ -876,6 +1030,18 @@ impl NetworkComponent {
                 let idx = proto.to_byte() as usize;
                 stats.received[idx.min(3)] += 1;
             }
+            // Receiver-side delivery edge. Trace ids never cross the wire
+            // (that would perturb frame sizes and thus all timings), so
+            // this is a root instant; offline analysis joins it to the
+            // sender's `msg` span by source key and time window.
+            let tr = self.tracer();
+            tr.instant(
+                self.now_ns(),
+                SpanKind::Deliver,
+                SpanId::NONE,
+                SpanId::NONE,
+                peer_key(msg.header().source().as_socket()),
+            );
             self.port.trigger(NetIndication::Msg(msg));
         } else {
             // Addressed elsewhere (e.g. source routing without an explicit
@@ -894,16 +1060,22 @@ impl NetworkComponent {
     fn on_channel_down(&mut self, ctx: &mut ComponentContext, key: ChannelKey) {
         let supervised = self.cfg.reconnect.is_some()
             && self.channels.get(&key).is_some_and(|c| c.originated);
+        let tr = self.tracer();
+        let now_ns = self.now_ns();
         if !supervised {
             if let Some(mut channel) = self.channels.remove(&key) {
                 // At-most-once: queued and unacknowledged messages are
                 // lost; notify requesters.
                 for frame in channel.pending.drain(..) {
+                    tr.close_with(now_ns, SpanId::from_raw(frame.enq_span), SPAN_FAILED);
+                    tr.close_with(now_ns, SpanId::from_raw(frame.msg_span), SPAN_FAILED);
                     if let Some(t) = frame.notify {
                         self.fail(Some(t), SendError::ChannelClosed);
                     }
                 }
                 for frame in channel.awaiting_ack.drain(..) {
+                    tr.close_with(now_ns, SpanId::from_raw(frame.xmit_span), SPAN_FAILED);
+                    tr.close_with(now_ns, SpanId::from_raw(frame.msg_span), SPAN_FAILED);
                     if let Some(t) = frame.notify {
                         self.fail(Some(t), SendError::ChannelClosed);
                     }
@@ -914,18 +1086,51 @@ impl NetworkComponent {
         let rc = self.cfg.reconnect.clone().expect("supervised implies config");
         let channel = self.channels.get_mut(&key).expect("supervised implies entry");
         channel.conn = None;
+        // A redial attempt that ends in another Closed event failed.
+        let failed_redial = std::mem::take(&mut channel.redial_span);
+        tr.close_with(now_ns, SpanId::from_raw(failed_redial), SPAN_FAILED);
+        // First loss on a healthy channel opens the `outage` span, at the
+        // same instant the `ConnectionLost` status below is stamped — the
+        // span's window therefore equals the reported recovery latency,
+        // and its children (requeue, backoff, redial) partition it.
+        if matches!(channel.phase, Phase::Connecting | Phase::Established)
+            && channel.outage_span == 0
+        {
+            channel.outage_span = tr
+                .open_root(now_ns, SpanKind::Outage, channel_span_key(key))
+                .raw();
+        }
+        let outage = SpanId::from_raw(channel.outage_span);
         // At-least-once: requeue unacknowledged frames *ahead* of pending
         // ones (they are older), rewinding write progress for the fresh
         // connection. Exactly-once stays at the session layer.
         for frame in channel.pending.iter_mut() {
             frame.written = 0;
         }
+        let requeued = channel.awaiting_ack.len() as u64;
         while let Some(acked) = channel.awaiting_ack.pop_back() {
+            // The interrupted transmission is over; the frame re-enters
+            // the queue under a fresh `enqueue` span on the same trace.
+            tr.close_with(now_ns, SpanId::from_raw(acked.xmit_span), SPAN_FAILED);
+            let msg_span = SpanId::from_raw(acked.msg_span);
             channel.pending.push_front(OutFrame {
                 bytes: acked.bytes,
                 written: 0,
                 notify: acked.notify,
+                msg_span: acked.msg_span,
+                enq_span: tr
+                    .open(
+                        now_ns,
+                        SpanKind::Enqueue,
+                        msg_span,
+                        msg_span,
+                        channel_span_key(key),
+                    )
+                    .raw(),
             });
+        }
+        if requeued > 0 {
+            tr.instant(now_ns, SpanKind::Requeue, outage, outage, requeued);
         }
         channel.written_total = 0;
         match channel.phase {
@@ -938,12 +1143,16 @@ impl NetworkComponent {
                 // entry so failover sees the dropped state and probes can
                 // restore it.
                 channel.phase = Phase::Dropped;
-                let failed: Vec<Option<NotifyToken>> = channel
+                let ended_outage = std::mem::take(&mut channel.outage_span);
+                let failed: Vec<(Option<NotifyToken>, u64, u64)> = channel
                     .pending
                     .drain(..)
-                    .map(|f| f.notify)
+                    .map(|f| (f.notify, f.enq_span, f.msg_span))
                     .collect();
-                for notify in failed {
+                tr.close_with(now_ns, SpanId::from_raw(ended_outage), SPAN_FAILED);
+                for (notify, enq_span, msg_span) in failed {
+                    tr.close_with(now_ns, SpanId::from_raw(enq_span), SPAN_FAILED);
+                    tr.close_with(now_ns, SpanId::from_raw(msg_span), SPAN_FAILED);
                     if let Some(t) = notify {
                         self.fail(Some(t), SendError::RetryBudgetExhausted);
                     }
@@ -966,6 +1175,13 @@ impl NetworkComponent {
                 let delay = rc.backoff(attempts, &mut self.jitter_rng);
                 let timer = ctx.schedule_once(delay);
                 self.retry_timers.insert(timer, key);
+                // `backoff` covers timer armed → fired (closed in
+                // `redial`); one per attempt, keyed by the attempt number.
+                if let Some(channel) = self.channels.get_mut(&key) {
+                    channel.backoff_span = tr
+                        .open(now_ns, SpanKind::Backoff, outage, outage, u64::from(attempts))
+                        .raw();
+                }
             }
         }
     }
@@ -984,6 +1200,16 @@ impl NetworkComponent {
             Some(c) if c.conn.is_none() => {}
             _ => return,
         }
+        let tr = self.tracer();
+        let now_ns = self.now_ns();
+        let outage = if let Some(channel) = self.channels.get_mut(&key) {
+            // The backoff wait is over the moment the timer fires.
+            let backoff = std::mem::take(&mut channel.backoff_span);
+            tr.close(now_ns, SpanId::from_raw(backoff));
+            SpanId::from_raw(channel.outage_span)
+        } else {
+            SpanId::NONE
+        };
         let events = self
             .self_events
             .clone()
@@ -1015,6 +1241,18 @@ impl NetworkComponent {
                 self.conn_index.insert(conn.id(), key);
                 if let Some(channel) = self.channels.get_mut(&key) {
                     channel.conn = Some(conn);
+                    // `redial` spans the dial attempt: closed on the
+                    // Connected event (success) or the next Closed event
+                    // (failure, SPAN_FAILED).
+                    channel.redial_span = tr
+                        .open(
+                            now_ns,
+                            SpanKind::Redial,
+                            outage,
+                            outage,
+                            channel_span_key(key),
+                        )
+                        .raw();
                 }
                 // Establishment (or the next failure) arrives as a
                 // Connected/Closed event.

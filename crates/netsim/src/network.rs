@@ -23,7 +23,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
-use kmsg_telemetry::EventKind;
+use kmsg_telemetry::{EventKind, SpanId, SpanKind};
 use parking_lot::Mutex;
 
 use crate::engine::Sim;
@@ -60,6 +60,31 @@ fn sink_key(node: NodeId, protocol: WireProtocol, port: u16) -> u64 {
 #[inline]
 fn route_key(src: NodeId, dst: NodeId) -> u64 {
     (u64::from(src.index() as u32) << 32) | u64::from(dst.index() as u32)
+}
+
+/// `flight` span close keys: how the packet's journey through the fabric
+/// ended (`key` of the span's [`EventKind::SpanClose`]).
+pub const FLIGHT_DELIVERED: u64 = 0;
+/// Dropped at a link (queue overflow, random loss, policing, link down).
+pub const FLIGHT_DROPPED: u64 = 1;
+/// Reached the destination node but no sink was bound to the port.
+pub const FLIGHT_NO_SINK: u64 = 2;
+/// No route installed between the endpoints.
+pub const FLIGHT_NO_ROUTE: u64 = 3;
+/// Died mid-flight because the link it was crossing was severed.
+pub const FLIGHT_SEVERED: u64 = 4;
+/// `hop` span close key when the packet died to a sever on that hop.
+pub const HOP_SEVERED: u64 = 1;
+
+/// Packs a `(src, dst)` endpoint pair into a `flight`-span correlation key
+/// (16 bits each of src node, src port, dst node, dst port — node indices
+/// above 2^16 alias, which only blurs correlation, never semantics).
+#[inline]
+fn flight_key(src: Endpoint, dst: Endpoint) -> u64 {
+    (u64::from(src.node.index() as u16) << 48)
+        | (u64::from(src.port) << 32)
+        | (u64::from(dst.node.index() as u16) << 16)
+        | u64::from(dst.port)
 }
 
 /// First ephemeral port (IANA dynamic range).
@@ -397,6 +422,32 @@ impl Network {
         }
     }
 
+    /// Closes the packet's `flight` span with an outcome key; no-op when
+    /// tracing was off at injection time (the span was never opened).
+    fn close_flight(&self, pkt: &Packet, key: u64) {
+        if pkt.span != 0 {
+            self.sim.recorder().record(
+                self.sim.now().as_nanos(),
+                EventKind::SpanClose { span: pkt.span, key },
+            );
+        }
+    }
+
+    /// Closes the packet's current `hop` span (arrival at the far end of a
+    /// link, or death mid-hop).
+    fn close_hop(&self, pkt: &mut Packet, key: u64) {
+        if pkt.hop_span != 0 {
+            self.sim.recorder().record(
+                self.sim.now().as_nanos(),
+                EventKind::SpanClose {
+                    span: pkt.hop_span,
+                    key,
+                },
+            );
+            pkt.hop_span = 0;
+        }
+    }
+
     /// Injects a packet into the fabric at the current simulation time.
     ///
     /// The packet follows the installed route hop by hop; a missing route is
@@ -406,7 +457,20 @@ impl Network {
         // The packet is boxed once here and freed at delivery (or drop);
         // every hop event carries the same 8-byte box pointer, keeping the
         // inline event-store entries small.
-        let pkt = Box::new(pkt);
+        let mut pkt = Box::new(pkt);
+        {
+            let rec = self.sim.recorder();
+            if rec.is_enabled() {
+                pkt.span = rec
+                    .tracer()
+                    .open_root(
+                        self.sim.now().as_nanos(),
+                        SpanKind::Flight,
+                        flight_key(pkt.src, pkt.dst),
+                    )
+                    .raw();
+            }
+        }
         // One lock for the stats bump and the route lookup (the trace call
         // between them is lock-free when no tracer is installed).
         let route = {
@@ -427,10 +491,12 @@ impl Network {
             Some(_) => {
                 // Empty route between distinct nodes: treat as unrouted.
                 self.inner.lock().stats.dropped_no_route += 1;
+                self.close_flight(&pkt, FLIGHT_NO_ROUTE);
                 self.trace(&pkt, PacketEvent::NoRoute);
             }
             None => {
                 self.inner.lock().stats.dropped_no_route += 1;
+                self.close_flight(&pkt, FLIGHT_NO_ROUTE);
                 self.trace(&pkt, PacketEvent::NoRoute);
             }
         }
@@ -462,6 +528,20 @@ impl Network {
                             backlog_bytes: link.backlog_bytes(now) as u64,
                             capacity_bytes: link.queue_capacity() as u64,
                         });
+                        // One `hop` child span per link traversal: opened at
+                        // the transmit decision, closed when the arrival
+                        // event fires at the far end.
+                        let flight = SpanId::from_raw(pkt.span);
+                        pkt.hop_span = rec
+                            .tracer()
+                            .open(
+                                now.as_nanos(),
+                                SpanKind::Hop,
+                                flight,
+                                flight,
+                                u64::from(link_id.0),
+                            )
+                            .raw();
                     }
                     self.sim
                         .schedule_packet_hop(at, self.clone(), pkt, route, idx + 1);
@@ -481,13 +561,14 @@ impl Network {
                     reason: reason.label(),
                     wire_size: pkt.wire_size as u64,
                 });
+            self.close_flight(&pkt, FLIGHT_DROPPED);
             self.trace(&pkt, PacketEvent::Dropped(reason));
         }
     }
 
     /// Entry point for scheduled packet-hop events: continue along the route
     /// at `idx`, or deliver once past its end.
-    pub(crate) fn packet_hop(&self, pkt: Box<Packet>, route: RouteRef, idx: u32) {
+    pub(crate) fn packet_hop(&self, mut pkt: Box<Packet>, route: RouteRef, idx: u32) {
         // Arrival check for the hop just crossed: a sever while the packet
         // was in flight kills it here (carrier loss, not an unplugged
         // uplink — see `Link::sever`).
@@ -512,9 +593,12 @@ impl Network {
                         reason: DropReason::Severed.label(),
                         wire_size: pkt.wire_size as u64,
                     });
+                self.close_hop(&mut pkt, HOP_SEVERED);
+                self.close_flight(&pkt, FLIGHT_SEVERED);
                 self.trace(&pkt, PacketEvent::Dropped(DropReason::Severed));
                 return;
             }
+            self.close_hop(&mut pkt, 0);
         }
         if idx < route.len {
             self.forward(pkt, route, idx);
@@ -536,11 +620,15 @@ impl Network {
         };
         match sink {
             Some(sink) => {
+                self.close_flight(&pkt, FLIGHT_DELIVERED);
                 self.trace(&pkt, PacketEvent::Delivered);
                 // The box dies here: the sink gets the packet by value.
                 sink.on_packet(self, *pkt);
             }
-            None => self.trace(&pkt, PacketEvent::NoSink),
+            None => {
+                self.close_flight(&pkt, FLIGHT_NO_SINK);
+                self.trace(&pkt, PacketEvent::NoSink);
+            }
         }
     }
 

@@ -114,6 +114,13 @@ pub struct Packet {
     /// transmit time. If the link's epoch has advanced by arrival (the link
     /// was [severed](crate::link::Link::sever) mid-flight), the packet dies.
     pub sever_epoch: u64,
+    /// Raw causal-span id of this packet's `flight` span (0 when tracing
+    /// is off). In-memory only — never serialised, so enabling tracing
+    /// cannot perturb wire sizes or timing.
+    pub span: u64,
+    /// Raw span id of the `hop` span for the link currently being crossed
+    /// (0 between hops or when tracing is off). In-memory only.
+    pub hop_span: u64,
     /// Transport payload.
     pub body: PacketBody,
 }
@@ -135,6 +142,8 @@ impl Packet {
             protocol,
             wire_size: payload_len + HEADER_OVERHEAD,
             sever_epoch: 0,
+            span: 0,
+            hop_span: 0,
             body,
         }
     }

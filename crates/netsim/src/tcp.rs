@@ -27,7 +27,7 @@ use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use bytes::Bytes;
-use kmsg_telemetry::{EventKind, Recorder};
+use kmsg_telemetry::{EventKind, Recorder, SpanKind};
 use parking_lot::Mutex;
 
 use crate::engine::{EventTarget, Sim};
@@ -168,6 +168,51 @@ struct SentSeg {
     fin: bool,
     retransmitted: bool,
     last_rexmit: Option<SimTime>,
+    /// Raw `seg` causal-span id covering first transmission to cumulative
+    /// ack (0 for control segments or while tracing is off).
+    span: u64,
+}
+
+/// `seg` span closed clean: acknowledged without any retransmission.
+const SEG_ACKED: u64 = 0;
+/// `seg` span closed after at least one retransmission.
+const SEG_REXMIT: u64 = 1;
+/// `seg` span closed because the flow died with the segment unacked.
+const SEG_ABORTED: u64 = 2;
+
+/// `seg`-span correlation key: connection id over the low 32 bits of the
+/// sequence number, so `TcpRetransmit { conn, seq }` events join back to
+/// the covering span.
+fn seg_span_key(conn: u64, seq: u64) -> u64 {
+    (conn << 32) | (seq & 0xffff_ffff)
+}
+
+/// Opens a `seg` span at a data segment's first transmission; returns the
+/// raw id (0 while the recorder is disabled — one relaxed load).
+fn open_seg_span(rec: &Recorder, now: SimTime, conn: u64, seq: u64) -> u64 {
+    if !rec.is_enabled() {
+        return 0;
+    }
+    rec.tracer()
+        .open_root(now.as_nanos(), SpanKind::Seg, seg_span_key(conn, seq))
+        .raw()
+}
+
+/// Closes a `seg` span; no-op for 0 (never opened).
+fn close_seg_span(rec: &Recorder, now: SimTime, span: u64, key: u64) {
+    if span != 0 {
+        rec.record(now.as_nanos(), EventKind::SpanClose { span, key });
+    }
+}
+
+/// Closes every outstanding `seg` span on a dying flow (timeout death,
+/// peer-initiated close with data in flight, app dropping the handle).
+fn close_all_seg_spans(flow: &mut Flow, rec: &Recorder, now: SimTime) {
+    for seg in flow.sent.values_mut() {
+        let span = seg.span;
+        seg.span = 0;
+        close_seg_span(rec, now, span, SEG_ABORTED);
+    }
 }
 
 /// Packs an endpoint into a dense map key: node index in the high bits,
@@ -435,6 +480,7 @@ impl TcpStack {
             flow.delack_pending = 0;
             flow.send_q.clear();
             flow.send_q_bytes = 0;
+            close_all_seg_spans(flow, &self.rec, self.sim.now());
             flow.sent.clear();
             flow.lost.clear();
             flow.ooo.clear();
@@ -566,6 +612,7 @@ impl TcpStack {
             if flow.state == State::SynSent || flow.state == State::SynRcvd {
                 if flow.syn_retries_left == 0 {
                     flow.state = State::Closed;
+                    close_all_seg_spans(flow, rec, now);
                     if !flow.closed_notified {
                         flow.closed_notified = true;
                         out.push(Action::Closed(CloseReason::Timeout));
@@ -576,6 +623,7 @@ impl TcpStack {
             } else if flow.consecutive_timeouts > cfg.max_consecutive_timeouts {
                 // The peer is unreachable; give up like a real stack would.
                 flow.state = State::Closed;
+                close_all_seg_spans(flow, rec, now);
                 if !flow.closed_notified {
                     flow.closed_notified = true;
                     out.push(Action::Closed(CloseReason::Timeout));
@@ -642,7 +690,7 @@ impl TcpStack {
             }
             State::SynSent => {
                 if seg.flags.syn && seg.flags.ack && seg.ack >= 1 {
-                    complete_handshake_active(flow, cfg, &seg, now, out);
+                    complete_handshake_active(flow, cfg, rec, &seg, now, out);
                 }
             }
             State::SynRcvd => {
@@ -666,7 +714,7 @@ impl TcpStack {
                     if !seg.payload.is_empty() || seg.flags.fin {
                         receive_data(flow, cfg, seg, now, out);
                     }
-                    try_send(flow, cfg, now, out);
+                    try_send(flow, cfg, rec, now, out);
                 } else if seg.flags.syn && !seg.flags.ack {
                     // Duplicate SYN: retransmit SYN-ACK.
                     retransmit_first(flow, cfg, rec, now, out);
@@ -680,8 +728,8 @@ impl TcpStack {
                 if !seg.payload.is_empty() || seg.flags.fin {
                     receive_data(flow, cfg, seg, now, out);
                 }
-                try_send(flow, cfg, now, out);
-                maybe_close(flow, out);
+                try_send(flow, cfg, rec, now, out);
+                maybe_close(flow, rec, now, out);
             }
         });
     }
@@ -756,6 +804,7 @@ impl TcpStack {
                     fin: false,
                     retransmitted: false,
                     last_rexmit: None,
+                    span: 0,
                 },
             );
             flow.snd_nxt = 1;
@@ -798,6 +847,7 @@ impl EventTarget for TcpStack {
 fn complete_handshake_active(
     flow: &mut Flow,
     cfg: &TcpConfig,
+    rec: &Recorder,
     seg: &TcpSegment,
     now: SimTime,
     out: &mut Vec<Action>,
@@ -819,7 +869,7 @@ fn complete_handshake_active(
     out.push(Action::Connected);
     // Pure ACK completes the handshake; data may follow immediately.
     out.push(Action::Send(pure_ack(flow, cfg, now)));
-    try_send(flow, cfg, now, out);
+    try_send(flow, cfg, rec, now, out);
 }
 
 fn update_rtt(flow: &mut Flow, cfg: &TcpConfig, now: SimTime, echo: SimTime) {
@@ -941,13 +991,15 @@ fn process_ack(
         let newly = seg.ack - flow.snd_una;
         flow.snd_una = seg.ack;
         flow.consecutive_timeouts = 0;
-        // Remove fully acknowledged segments.
+        // Remove fully acknowledged segments, closing their `seg` spans
+        // (close key records whether the segment needed retransmission).
         let still_unacked = flow.sent.split_off(&seg.ack);
-        let acked: u64 = flow
-            .sent
-            .values()
-            .map(|s| s.payload.len() as u64)
-            .sum();
+        let mut acked: u64 = 0;
+        for s in flow.sent.values() {
+            acked += s.payload.len() as u64;
+            let key = if s.retransmitted { SEG_REXMIT } else { SEG_ACKED };
+            close_seg_span(rec, now, s.span, key);
+        }
         flow.sent = still_unacked;
         flow.unacked_bytes = flow.unacked_bytes.saturating_sub(acked as usize);
         flow.stats.bytes_acked += acked;
@@ -1178,7 +1230,13 @@ fn schedule_ack(
     }
 }
 
-fn try_send(flow: &mut Flow, cfg: &TcpConfig, now: SimTime, out: &mut Vec<Action>) {
+fn try_send(
+    flow: &mut Flow,
+    cfg: &TcpConfig,
+    rec: &Recorder,
+    now: SimTime,
+    out: &mut Vec<Action>,
+) {
     if flow.state != State::Established {
         return;
     }
@@ -1213,6 +1271,7 @@ fn try_send(flow: &mut Flow, cfg: &TcpConfig, now: SimTime, out: &mut Vec<Action
                         fin: true,
                         retransmitted: false,
                         last_rexmit: None,
+                        span: 0,
                     },
                 );
                 flow.snd_nxt += 1;
@@ -1249,6 +1308,7 @@ fn try_send(flow: &mut Flow, cfg: &TcpConfig, now: SimTime, out: &mut Vec<Action
                 fin: false,
                 retransmitted: false,
                 last_rexmit: None,
+                span: open_seg_span(rec, now, flow.conn_id, flow.snd_nxt),
             },
         );
         flow.snd_nxt += take as u64;
@@ -1268,7 +1328,7 @@ fn maybe_writable(flow: &mut Flow, cfg: &TcpConfig, out: &mut Vec<Action>) {
     }
 }
 
-fn maybe_close(flow: &mut Flow, out: &mut Vec<Action>) {
+fn maybe_close(flow: &mut Flow, rec: &Recorder, now: SimTime, out: &mut Vec<Action>) {
     if flow.closed_notified || flow.state == State::Closed {
         return;
     }
@@ -1276,6 +1336,7 @@ fn maybe_close(flow: &mut Flow, out: &mut Vec<Action>) {
     if flow.fin_received && local_done {
         flow.state = State::Closed;
         flow.closed_notified = true;
+        close_all_seg_spans(flow, rec, now);
         disarm_rto(flow);
         out.push(Action::Closed(CloseReason::Normal));
     } else if flow.fin_queued && flow.fin_acked && !flow.fin_received {
@@ -1283,6 +1344,7 @@ fn maybe_close(flow: &mut Flow, out: &mut Vec<Action>) {
         // FIN or just report closure (simplified half-close).
         flow.state = State::Closed;
         flow.closed_notified = true;
+        close_all_seg_spans(flow, rec, now);
         disarm_rto(flow);
         out.push(Action::Closed(CloseReason::Normal));
     }
@@ -1394,6 +1456,7 @@ impl TcpConn {
                     fin: false,
                     retransmitted: false,
                     last_rexmit: None,
+                    span: 0,
                 },
             );
             flow.snd_nxt = 1;
@@ -1441,7 +1504,7 @@ impl TcpConn {
     /// Appends bytes to the send buffer; returns how many were accepted.
     pub fn send(&self, data: Bytes) -> usize {
         let mut accepted = 0;
-        self.stack.process(self.h, |flow, cfg, _rec, now, out| {
+        self.stack.process(self.h, |flow, cfg, rec, now, out| {
             if flow.state == State::Closed || flow.fin_queued {
                 return;
             }
@@ -1456,7 +1519,7 @@ impl TcpConn {
                 flow.unacked_bytes += take;
                 flow.stats.bytes_sent += take as u64;
                 flow.send_q.push_back(chunk);
-                try_send(flow, cfg, now, out);
+                try_send(flow, cfg, rec, now, out);
             }
             accepted = take;
         });
@@ -1514,12 +1577,12 @@ impl TcpConn {
 
     /// Orderly close: a FIN is sent after all buffered data.
     pub fn close(&self) {
-        self.stack.process(self.h, |flow, cfg, _rec, now, out| {
+        self.stack.process(self.h, |flow, cfg, rec, now, out| {
             if flow.fin_queued || flow.state == State::Closed {
                 return;
             }
             flow.fin_queued = true;
-            try_send(flow, cfg, now, out);
+            try_send(flow, cfg, rec, now, out);
         });
     }
 

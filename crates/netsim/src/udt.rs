@@ -37,7 +37,7 @@ use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use bytes::Bytes;
-use kmsg_telemetry::{EventKind, Recorder};
+use kmsg_telemetry::{EventKind, Recorder, SpanKind};
 use parking_lot::Mutex;
 
 use crate::engine::{EventTarget, Sim};
@@ -242,6 +242,10 @@ struct Flow {
     snd_nxt: u64,
     snd_una: u64,
     loss_list: BTreeSet<u64>,
+    /// Raw `nak_recovery` causal-span id covering the window from the
+    /// first loss-listed sequence to the loss list draining (0 outside a
+    /// recovery episode or while tracing is off).
+    nak_span: u64,
     snd_period_us: f64,
     last_dec_seq: u64,
     last_dec_at: SimTime,
@@ -322,6 +326,7 @@ impl Flow {
             snd_nxt: 0,
             snd_una: 0,
             loss_list: BTreeSet::new(),
+            nak_span: 0,
             snd_period_us,
             last_dec_seq: 0,
             last_dec_at: SimTime::ZERO,
@@ -483,6 +488,16 @@ impl UdtStack {
             flow.send_q_bytes = 0;
             flow.packets.clear();
             flow.loss_list.clear();
+            if flow.nak_span != 0 {
+                self.rec.record(
+                    self.sim.now().as_nanos(),
+                    EventKind::SpanClose {
+                        span: flow.nak_span,
+                        key: 1,
+                    },
+                );
+                flow.nak_span = 0;
+            }
             flow.ooo.clear();
             flow.ooo_bytes = 0;
             flow.missing.clear();
@@ -522,6 +537,27 @@ impl UdtStack {
             };
             let cfg = &inner.configs[flow.cfg_id as usize];
             f(flow, cfg, &self.rec, now, &mut actions);
+            // `nak_recovery` span maintenance: every state transition runs
+            // through this wrapper, so the loss list's empty/non-empty
+            // edges are all observable here — open on the first loss of an
+            // episode, close when recovery drains it (or the flow dies).
+            let in_loss = !flow.loss_list.is_empty() && flow.state != State::Closed;
+            if flow.nak_span == 0 && in_loss && self.rec.is_enabled() {
+                flow.nak_span = self
+                    .rec
+                    .tracer()
+                    .open_root(now.as_nanos(), SpanKind::NakRecovery, flow.conn_id)
+                    .raw();
+            } else if flow.nak_span != 0 && !in_loss {
+                self.rec.record(
+                    now.as_nanos(),
+                    EventKind::SpanClose {
+                        span: flow.nak_span,
+                        key: u64::from(flow.state == State::Closed),
+                    },
+                );
+                flow.nak_span = 0;
+            }
             let needs_events = actions.iter().any(|a| {
                 matches!(
                     a,

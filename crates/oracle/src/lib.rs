@@ -27,6 +27,10 @@
 //!   do: every `sever`/`link_down`/`burst_on`/`latency_spike` is paired
 //!   with its heal on the same link (opt-in via
 //!   [`OracleConfig::faults_must_heal`]).
+//! * [`SpanOracle`] — causal-span lifecycle legality: opens and closes
+//!   balance, children nest inside their parents on the same trace,
+//!   instants close at their open time, and TCP retransmits join back to
+//!   the `seg` span of the segment's first transmission.
 //!
 //! Oracles consume the **typed** event stream
 //! ([`kmsg_telemetry::Recorder::events`] /
@@ -44,6 +48,7 @@ pub mod conservation;
 pub mod delivery;
 pub mod faults;
 pub mod shrink;
+pub mod spans;
 pub mod tcp;
 pub mod udt;
 
@@ -52,6 +57,7 @@ pub use conservation::ConservationOracle;
 pub use delivery::DeliveryOracle;
 pub use faults::FaultOracle;
 pub use shrink::{minimize, Shrinkable};
+pub use spans::SpanOracle;
 pub use tcp::TcpOracle;
 pub use udt::UdtOracle;
 
@@ -177,6 +183,7 @@ pub fn suite() -> Vec<Box<dyn Oracle>> {
         Box::new(ConservationOracle),
         Box::new(DeliveryOracle),
         Box::new(FaultOracle),
+        Box::new(SpanOracle),
     ]
 }
 

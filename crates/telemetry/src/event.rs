@@ -179,29 +179,90 @@ pub enum EventKind {
         /// Caller-defined value.
         value: u64,
     },
+    /// A causal span opened (see [`crate::trace`]). Spans form a forest
+    /// per trace: `parent == 0` marks a root. All fields are plain
+    /// numbers or static labels so the record path never allocates.
+    SpanOpen {
+        /// Packed span id ([`crate::trace::SpanId`]): kind byte in the
+        /// top 8 bits, per-recorder sequence below.
+        span: u64,
+        /// Packed id of the enclosing span, `0` for roots.
+        parent: u64,
+        /// Trace id this span belongs to (the root span's id), `0` when
+        /// the work is not attributed to one application message.
+        trace: u64,
+        /// Span kind label (`"msg"`, `"enqueue"`, `"xmit"`, `"outage"`,
+        /// `"backoff"`, `"redial"`, `"seg"`, `"hop"`, ...).
+        kind: &'static str,
+        /// Kind-specific correlation key (channel key, `conn << 32 | seq`,
+        /// link id, ...). `0` when unused.
+        key: u64,
+    },
+    /// A causal span closed. Every [`EventKind::SpanOpen`] in a complete
+    /// trace has exactly one close at `time_ns >=` its open time (checked
+    /// by the span oracle in `kmsg-oracle`).
+    SpanClose {
+        /// Packed id of the span being closed.
+        span: u64,
+        /// Kind-specific outcome key (`0` = normal; e.g. `1` on a `seg`
+        /// span that was retransmitted, drop-reason index on a `hop`).
+        key: u64,
+    },
 }
 
+/// Number of [`EventKind`] variants — sizes per-kind tally arrays.
+pub const KIND_COUNT: usize = 17;
+
+/// Stable snake_case labels, indexed by [`EventKind::index`].
+pub const KIND_LABELS: [&str; KIND_COUNT] = [
+    "tcp_cwnd",
+    "tcp_rto",
+    "tcp_retransmit",
+    "udt_rate",
+    "udt_nak",
+    "link_queue",
+    "link_drop",
+    "packet",
+    "scheduler_queue",
+    "component_exec",
+    "decision",
+    "fault",
+    "conn_status",
+    "overflow",
+    "mark",
+    "span_open",
+    "span_close",
+];
+
 impl EventKind {
+    /// Dense variant index into [`KIND_LABELS`] and per-kind tallies.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match self {
+            EventKind::TcpCwnd { .. } => 0,
+            EventKind::TcpRto { .. } => 1,
+            EventKind::TcpRetransmit { .. } => 2,
+            EventKind::UdtRate { .. } => 3,
+            EventKind::UdtNak { .. } => 4,
+            EventKind::LinkQueue { .. } => 5,
+            EventKind::LinkDrop { .. } => 6,
+            EventKind::Packet { .. } => 7,
+            EventKind::SchedulerQueue { .. } => 8,
+            EventKind::ComponentExec { .. } => 9,
+            EventKind::Decision { .. } => 10,
+            EventKind::Fault { .. } => 11,
+            EventKind::ConnStatus { .. } => 12,
+            EventKind::Overflow { .. } => 13,
+            EventKind::Mark { .. } => 14,
+            EventKind::SpanOpen { .. } => 15,
+            EventKind::SpanClose { .. } => 16,
+        }
+    }
+
     /// Stable snake_case label of the variant, used as the JSON `kind`
     /// field and for per-kind event counts in snapshots.
     #[must_use]
     pub fn label(&self) -> &'static str {
-        match self {
-            EventKind::TcpCwnd { .. } => "tcp_cwnd",
-            EventKind::TcpRto { .. } => "tcp_rto",
-            EventKind::TcpRetransmit { .. } => "tcp_retransmit",
-            EventKind::UdtRate { .. } => "udt_rate",
-            EventKind::UdtNak { .. } => "udt_nak",
-            EventKind::LinkQueue { .. } => "link_queue",
-            EventKind::LinkDrop { .. } => "link_drop",
-            EventKind::Packet { .. } => "packet",
-            EventKind::SchedulerQueue { .. } => "scheduler_queue",
-            EventKind::ComponentExec { .. } => "component_exec",
-            EventKind::Decision { .. } => "decision",
-            EventKind::Fault { .. } => "fault",
-            EventKind::ConnStatus { .. } => "conn_status",
-            EventKind::Overflow { .. } => "overflow",
-            EventKind::Mark { .. } => "mark",
-        }
+        KIND_LABELS[self.index()]
     }
 }

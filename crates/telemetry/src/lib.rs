@@ -45,19 +45,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod critical_path;
 pub mod event;
 pub mod export;
 pub mod log;
 pub mod metrics;
+pub mod trace;
 
 use std::cell::UnsafeCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-pub use event::{Event, EventKind};
+pub use event::{Event, EventKind, KIND_COUNT, KIND_LABELS};
 pub use log::Level;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use trace::{SpanId, SpanKind, Tracer};
 
 use export::{push_event_json, push_json_f64, push_json_str};
 use metrics::HistogramCells;
@@ -82,6 +85,14 @@ struct RecorderInner {
     enabled: Arc<AtomicBool>,
     recorded: AtomicU64,
     evicted: AtomicU64,
+    /// Ring-full drops tallied per [`EventKind::index`] — truncated runs
+    /// stay self-describing (which kinds the lost events were).
+    evicted_by_kind: [AtomicU64; event::KIND_COUNT],
+    /// Next causal-span sequence number (see [`trace`]). Relaxed
+    /// `fetch_add`: with one writer per world (the same invariant the
+    /// ring relies on) allocation order — and therefore every span id —
+    /// is deterministic per seed.
+    next_span: AtomicU64,
     /// Claim flag for `ring`: `true` while some thread holds the ring.
     /// The record hot path takes this with a single compare-exchange —
     /// with one writer per world (the invariant every simulation upholds)
@@ -183,6 +194,8 @@ impl Recorder {
                 enabled: Arc::new(AtomicBool::new(false)),
                 recorded: AtomicU64::new(0),
                 evicted: AtomicU64::new(0),
+                evicted_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
+                next_span: AtomicU64::new(1),
                 ring_claim: AtomicBool::new(false),
                 ring: UnsafeCell::new(Ring {
                     buf: VecDeque::with_capacity(capacity.min(1024)),
@@ -247,10 +260,19 @@ impl Recorder {
         let mut guard = self.inner.claim();
         let ring = guard.ring();
         if ring.buf.len() == ring.cap {
-            ring.buf.pop_front();
+            if let Some(old) = ring.buf.pop_front() {
+                self.inner.evicted_by_kind[old.kind.index()].fetch_add(1, Ordering::Relaxed);
+            }
             self.inner.evicted.fetch_add(1, Ordering::Relaxed);
         }
         ring.buf.push_back(ev);
+    }
+
+    /// Allocates the next causal-span sequence number (a per-recorder
+    /// monotone counter starting at 1 — see [`trace::SpanId`]).
+    #[inline]
+    pub(crate) fn next_span_seq(&self) -> u64 {
+        self.inner.next_span.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Events currently retained in the ring, oldest first.
@@ -300,6 +322,40 @@ impl Recorder {
         self.inner.evicted.load(Ordering::Relaxed)
     }
 
+    /// Ring-full drops per event kind: `(label, count)` for every kind
+    /// that lost at least one event, sorted by label (the same order the
+    /// snapshot's `by_kind` section uses).
+    #[must_use]
+    pub fn evicted_by_kind(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = self
+            .inner
+            .evicted_by_kind
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (event::KIND_LABELS[i], n))
+            })
+            .collect();
+        out.sort_by_key(|(label, _)| *label);
+        out
+    }
+
+    /// Publishes the per-kind eviction tally as `recorder/dropped/<kind>`
+    /// gauges (only kinds that actually lost events), so a truncated run's
+    /// metrics snapshot says *what* the ring dropped, not just how much.
+    pub fn publish_overflow_gauges(&self) {
+        for (label, n) in self.evicted_by_kind() {
+            self.gauge(&format!("recorder/dropped/{label}")).set(n as f64);
+        }
+    }
+
+    /// A span tracer bound to this recorder (cheap, cloneable).
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        Tracer::new(self.clone())
+    }
+
     /// Drops all retained events (counters and metrics are kept).
     pub fn clear_events(&self) {
         self.inner.claim().ring().buf.clear();
@@ -324,7 +380,9 @@ impl Recorder {
         // the ring still honours the new capacity afterwards.
         let evict = ring.buf.len() - ring.cap + 1;
         for _ in 0..evict {
-            ring.buf.pop_front();
+            if let Some(old) = ring.buf.pop_front() {
+                self.inner.evicted_by_kind[old.kind.index()].fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.inner.evicted.fetch_add(evict as u64, Ordering::Relaxed);
         let time_ns = ring.buf.front().map_or(0, |e| e.time_ns);
@@ -432,6 +490,20 @@ impl Recorder {
             out.push_str(&format!(": {n}"));
         }
         if !by_kind.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("},\n");
+        out.push_str("    \"evicted_by_kind\": {");
+        let dropped = self.evicted_by_kind();
+        for (i, (kind, n)) in dropped.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n      ");
+            push_json_str(&mut out, kind);
+            out.push_str(&format!(": {n}"));
+        }
+        if !dropped.is_empty() {
             out.push_str("\n    ");
         }
         out.push_str("}\n  },\n");
@@ -605,6 +677,33 @@ mod tests {
             })
             .collect();
         assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn eviction_tallies_per_kind() {
+        let rec = Recorder::with_capacity(2);
+        rec.enable();
+        rec.record(1, EventKind::SchedulerQueue { depth: 1 });
+        rec.record(2, EventKind::Mark { id: 0, value: 0 });
+        rec.record(3, EventKind::Mark { id: 1, value: 1 });
+        rec.record(4, EventKind::Mark { id: 2, value: 2 });
+        // scheduler_queue then the first mark were evicted.
+        assert_eq!(
+            rec.evicted_by_kind(),
+            vec![("mark", 1), ("scheduler_queue", 1)]
+        );
+        rec.publish_overflow_gauges();
+        let snap = rec.snapshot_json();
+        assert!(snap.contains("\"recorder/dropped/mark\": 1"), "{snap}");
+        assert!(snap.contains("\"evicted_by_kind\": {"), "{snap}");
+        assert!(
+            snap.contains("\"scheduler_queue\": 1"),
+            "tally in snapshot: {snap}"
+        );
+        // Shrink-evictions count too (capacity 1 evicts both retained
+        // marks: one for the new cap, one for the marker's slot).
+        rec.set_capacity(1);
+        assert_eq!(rec.evicted_by_kind(), vec![("mark", 3), ("scheduler_queue", 1)]);
     }
 
     #[test]
