@@ -468,6 +468,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> FuzzRun {
         failovers: sup_a.failovers + sup_b.failovers,
         fifo_expected: matches!(spec.transport, Transport::Tcp | Transport::Udt),
         evicted_events: result.recorder.evicted(),
+        overlay: None,
     };
     FuzzRun { result, facts }
 }

@@ -1,11 +1,12 @@
 //! **perf_gate** — CI guard against engine performance regressions.
 //!
 //! Compares a freshly produced `BENCH_engine.json` / `BENCH_scale.json`
-//! (written by the `timing_probe` binary) against the committed baselines
+//! (written by the `timing_probe` binary) and `BENCH_reroute.json`
+//! (written by the `reroute` binary) against the committed baselines
 //! at the repository root and exits nonzero when any tracked metric
 //! regressed beyond the tolerance. Rows are matched by key (engine name,
-//! host count), so a `--quick` probe that covers only a subset of the
-//! committed rows gates exactly that subset.
+//! host count, reroute variant), so a `--quick` probe that covers only a
+//! subset of the committed rows gates exactly that subset.
 //!
 //! ```text
 //! cargo run --release -p kmsg-bench --bin perf_gate -- \
@@ -29,7 +30,9 @@
 //! * scale: `events_per_sec` per host-count row (higher is better) and
 //!   `bytes_per_flow` (lower is better — this one is allocation
 //!   accounting, deterministic per seed, so a real increase always means
-//!   a real regression).
+//!   a real regression);
+//! * reroute: `gap_ms` per variant row (lower is better — virtual-time
+//!   outage gaps, deterministic per seed).
 
 use std::process::ExitCode;
 
@@ -108,6 +111,38 @@ fn engine_checks(baseline: &Json, fresh: &Json, out: &mut Vec<Check>) {
     }
 }
 
+/// Reroute bench: rows keyed by `name`, gated on `gap_ms` (lower is
+/// better). Outage gaps are virtual-time and deterministic per seed, so
+/// any change past the tolerance is a genuine behaviour change in
+/// overlay rerouting or channel supervision, not runner noise.
+fn reroute_checks(baseline: &Json, fresh: &Json, out: &mut Vec<Check>) {
+    let base_rows = baseline.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    let fresh_rows = fresh.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    for b in base_rows {
+        let Some(name) = b.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(f) = fresh_rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            kmsg_telemetry::log_info!("perf_gate: note: reroute '{name}' absent from fresh run");
+            continue;
+        };
+        if let (Some(bv), Some(fv)) = (
+            num(baseline, b, "gap_ms", "reroute"),
+            num(fresh, f, "gap_ms", "reroute"),
+        ) {
+            out.push(Check {
+                label: format!("reroute/{name}/gap_ms"),
+                baseline: bv,
+                fresh: fv,
+                higher_is_better: false,
+            });
+        }
+    }
+}
+
 /// Scale probe: rows keyed by `hosts`, gated on `events_per_sec` and
 /// `bytes_per_flow`.
 fn scale_checks(baseline: &Json, fresh: &Json, out: &mut Vec<Check>) {
@@ -178,6 +213,11 @@ fn main() -> ExitCode {
     scale_checks(
         &load(&baseline_dir, "BENCH_scale.json"),
         &load(&fresh_dir, "BENCH_scale.json"),
+        &mut checks,
+    );
+    reroute_checks(
+        &load(&baseline_dir, "BENCH_reroute.json"),
+        &load(&fresh_dir, "BENCH_reroute.json"),
         &mut checks,
     );
     assert!(

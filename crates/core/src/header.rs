@@ -95,16 +95,26 @@ pub struct RoutingHeader {
     pub base: BasicHeader,
     /// The active route, if any.
     pub route: Option<Route>,
+    /// Remaining forwarding budget. Decremented by every host that forwards
+    /// the message; a host that would forward at `0` drops it instead
+    /// (counted in `MiddlewareStats::ttl_drops`), so a malformed or stale
+    /// route can never loop forever.
+    pub ttl: u8,
 }
 
+/// Default forwarding budget for new routes — generous against any sane
+/// overlay diameter, small enough to kill a loop quickly.
+pub const DEFAULT_TTL: u8 = 32;
+
 impl RoutingHeader {
-    /// Wraps `base` with a route through `hops`.
+    /// Wraps `base` with a route through `hops` at [`DEFAULT_TTL`].
     #[must_use]
     pub fn with_route(base: BasicHeader, hops: impl IntoIterator<Item = NetAddress>) -> Self {
         let source = base.src;
         RoutingHeader {
             base,
             route: Some(Route::new(source, hops)),
+            ttl: DEFAULT_TTL,
         }
     }
 
@@ -234,7 +244,7 @@ impl NetHeader {
             NetHeader::Basic(_) | NetHeader::Data(_) => 2 + 2 * addr,
             NetHeader::Routing(h) => {
                 let hops = h.route.as_ref().map_or(0, |r| r.hops.len());
-                2 + (3 + hops) * addr + 4
+                3 + (3 + hops) * addr + 4
             }
         }
     }
@@ -295,6 +305,7 @@ impl NetHeader {
                 put_addr(buf, &h.base.src);
                 put_addr(buf, &h.base.dst);
                 buf.put_u8(h.base.proto.to_byte());
+                buf.put_u8(h.ttl);
                 match &h.route {
                     Some(route) => {
                         buf.put_u8(1);
@@ -337,9 +348,10 @@ impl NetHeader {
         match kind {
             0 => Ok(NetHeader::Basic(BasicHeader::new(src, dst, proto))),
             1 => {
-                if buf.remaining() < 1 {
+                if buf.remaining() < 2 {
                     return Err(SerError::Truncated { context: CTX });
                 }
+                let ttl = buf.get_u8();
                 let has_route = buf.get_u8() == 1;
                 let route = if has_route {
                     let source = get_addr(buf)?;
@@ -358,6 +370,7 @@ impl NetHeader {
                 Ok(NetHeader::Routing(RoutingHeader {
                     base: BasicHeader::new(src, dst, proto),
                     route,
+                    ttl,
                 }))
             }
             2 => Ok(NetHeader::Data(DataHeader {
@@ -441,6 +454,22 @@ mod tests {
             vec![NetAddress::new(b, 2), NetAddress::new(b, 4)],
         ));
         assert_eq!(round_trip(&h), h);
+    }
+
+    #[test]
+    fn routing_header_ttl_defaults_and_round_trips() {
+        let (a, b, c) = nodes();
+        let mut h = RoutingHeader::with_route(
+            BasicHeader::new(NetAddress::new(a, 1), NetAddress::new(c, 3), Transport::Tcp),
+            vec![NetAddress::new(b, 2)],
+        );
+        assert_eq!(h.ttl, DEFAULT_TTL);
+        h.ttl = 3;
+        let wire = round_trip(&NetHeader::Routing(h.clone()));
+        match wire {
+            NetHeader::Routing(r) => assert_eq!(r.ttl, 3),
+            other => panic!("expected routing header, got {other:?}"),
+        }
     }
 
     #[test]

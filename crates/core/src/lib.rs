@@ -74,13 +74,14 @@ pub mod data;
 pub mod header;
 pub mod msg;
 pub mod net;
+pub mod overlay;
 pub mod ser;
 pub mod transport;
 pub mod vnet;
 
 pub use address::{Address, NetAddress, VnodeId};
 pub use data::{DataNetwork, DataNetworkComponent, DataNetworkConfig, Ratio};
-pub use header::{BasicHeader, DataHeader, Header, NetHeader, Route, RoutingHeader};
+pub use header::{BasicHeader, DataHeader, Header, NetHeader, Route, RoutingHeader, DEFAULT_TTL};
 pub use msg::{
     ChannelStatus, ConnStatus, DeliveryStatus, Msg, NetIndication, NetMessage, NetRequest,
     NetworkPort, NotifyToken, SendError,
@@ -88,6 +89,10 @@ pub use msg::{
 pub use net::{
     create_network, MiddlewareStats, NetworkComponent, NetworkConfig, ReconnectConfig,
     StatsHandle, SupervisionSummary,
+};
+pub use overlay::{
+    OverlayComponent, OverlayConfig, OverlayDelivery, OverlayPort, OverlayRequest, OverlayStats,
+    OverlayStatsHandle, OverlayWire,
 };
 pub use ser::{Deserialiser, SerError, SerId, SerRegistry, Serialisable};
 pub use transport::Transport;
@@ -99,7 +104,7 @@ pub mod prelude {
         create_data_network, DataNetwork, DataNetworkComponent, DataNetworkConfig, PatternKind,
         PrpKind, PspKind, Ratio, TdConfig, ValueBackend,
     };
-    pub use crate::header::{BasicHeader, DataHeader, Header, NetHeader, Route, RoutingHeader};
+    pub use crate::header::{BasicHeader, DataHeader, Header, NetHeader, Route, RoutingHeader, DEFAULT_TTL};
     pub use crate::msg::{
         ChannelStatus, ConnStatus, DeliveryStatus, Msg, NetIndication, NetMessage, NetRequest,
         NetworkPort, NotifyToken, SendError,
@@ -107,6 +112,10 @@ pub mod prelude {
     pub use crate::net::{
         create_network, MiddlewareStats, NetworkComponent, NetworkConfig, ReconnectConfig,
         StatsHandle, SupervisionSummary,
+    };
+    pub use crate::overlay::{
+        OverlayComponent, OverlayConfig, OverlayDelivery, OverlayPort, OverlayRequest,
+        OverlayStats, OverlayStatsHandle, OverlayWire,
     };
     pub use crate::ser::{Deserialiser, SerError, SerId, SerRegistry, Serialisable};
     pub use crate::transport::Transport;

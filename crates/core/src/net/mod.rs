@@ -42,7 +42,7 @@ use kmsg_telemetry::{EventKind, SpanId, SpanKind, Tracer};
 use rand::Rng;
 
 use crate::address::{Address, NetAddress};
-use crate::header::NetHeader;
+use crate::header::{Header, NetHeader};
 use crate::msg::{
     ChannelStatus, ConnStatus, DeliveryStatus, NetIndication, NetMessage, NetRequest,
     NetworkPort, NotifyToken, SendError,
@@ -147,6 +147,9 @@ pub struct MiddlewareStats {
     pub local_reflections: u64,
     /// Multi-hop messages forwarded through this host.
     pub forwarded: u64,
+    /// Multi-hop messages dropped because their routing TTL hit zero
+    /// (malformed or stale route — e.g. a cycle).
+    pub ttl_drops: u64,
     /// Bytes written to transports (after framing/compression).
     pub bytes_out: u64,
     /// Bytes received from transports (before decompression).
@@ -1018,8 +1021,7 @@ impl NetworkComponent {
                 if rh.route.as_ref().is_some_and(super::header::Route::has_next) {
                     rh.advance();
                     if msg.header().destination().as_socket() != my_socket {
-                        self.stats.lock().forwarded += 1;
-                        self.handle_send(None, msg);
+                        self.forward_or_drop(msg);
                         return;
                     }
                 }
@@ -1046,9 +1048,39 @@ impl NetworkComponent {
         } else {
             // Addressed elsewhere (e.g. source routing without an explicit
             // hop entry for us): forward along.
-            self.stats.lock().forwarded += 1;
-            self.handle_send(None, msg);
+            self.forward_or_drop(msg);
         }
+    }
+
+    /// Forwards a transiting message, charging one unit of routing TTL.
+    /// A routed message whose budget is exhausted is dropped with a
+    /// recorded reason instead — the backstop that keeps a malformed or
+    /// stale (e.g. cyclic) route from circulating forever.
+    fn forward_or_drop(&mut self, mut msg: NetMessage) {
+        if let NetHeader::Routing(rh) = msg.header_mut() {
+            if rh.ttl == 0 {
+                let dst_node =
+                    u64::from(Header::destination(&*rh).as_socket().node.index());
+                self.stats.lock().ttl_drops += 1;
+                let sim = self.net.sim();
+                let rec = sim.recorder();
+                if rec.is_enabled() {
+                    rec.record(
+                        sim.now().as_nanos(),
+                        EventKind::Overlay {
+                            action: "ttl_drop",
+                            msg: 0,
+                            node: u64::from(self.cfg.addr.as_socket().node.index()),
+                            aux: dst_node,
+                        },
+                    );
+                }
+                return;
+            }
+            rh.ttl -= 1;
+        }
+        self.stats.lock().forwarded += 1;
+        self.handle_send(None, msg);
     }
 
     // --- supervision ----------------------------------------------------

@@ -208,10 +208,40 @@ pub enum EventKind {
         /// span that was retransmitted, drop-reason index on a `hop`).
         key: u64,
     },
+    /// One pub/sub overlay action (publish, route selection, reroute,
+    /// delivery, or a drop). All fields are plain numbers so recording
+    /// never allocates; the overlay oracle reconstructs loop-freedom and
+    /// at-most-once delivery from these.
+    Overlay {
+        /// Action label (`"publish"`, `"route"`, `"reroute"`, `"deliver"`,
+        /// `"dup_drop"`, `"no_route"`, `"stale_drop"`, `"ttl_drop"`,
+        /// `"link_down"`, `"link_up"`).
+        action: &'static str,
+        /// Overlay message id (`origin_node << 32 | seq`), `0` when the
+        /// action is not tied to one message.
+        msg: u64,
+        /// Node index where the action happened.
+        node: u64,
+        /// Action-specific payload: the packed relay path on
+        /// `route`/`reroute` (one node index + 1 per byte, low byte first,
+        /// `u64::MAX` = unencodable), the subject hash on
+        /// `publish`/`deliver`, the peer node on `link_down`/`link_up`.
+        aux: u64,
+    },
+    /// One gossip digest sent to a peer (periodic anti-entropy round or
+    /// an event-driven flood after a local table change).
+    Gossip {
+        /// Sending node index.
+        node: u64,
+        /// Receiving peer node index.
+        peer: u64,
+        /// Link-state plus subscription entries carried in the digest.
+        entries: u64,
+    },
 }
 
 /// Number of [`EventKind`] variants — sizes per-kind tally arrays.
-pub const KIND_COUNT: usize = 17;
+pub const KIND_COUNT: usize = 19;
 
 /// Stable snake_case labels, indexed by [`EventKind::index`].
 pub const KIND_LABELS: [&str; KIND_COUNT] = [
@@ -232,6 +262,8 @@ pub const KIND_LABELS: [&str; KIND_COUNT] = [
     "mark",
     "span_open",
     "span_close",
+    "overlay",
+    "gossip",
 ];
 
 impl EventKind {
@@ -256,6 +288,8 @@ impl EventKind {
             EventKind::Mark { .. } => 14,
             EventKind::SpanOpen { .. } => 15,
             EventKind::SpanClose { .. } => 16,
+            EventKind::Overlay { .. } => 17,
+            EventKind::Gossip { .. } => 18,
         }
     }
 

@@ -215,6 +215,26 @@ pub fn push_event_json(out: &mut String, ev: &Event) {
             field_u64(out, "span", *span);
             field_u64(out, "key", *key);
         }
+        EventKind::Overlay {
+            action,
+            msg,
+            node,
+            aux,
+        } => {
+            field_str(out, "action", action);
+            field_u64(out, "msg", *msg);
+            field_u64(out, "node", *node);
+            field_u64(out, "aux", *aux);
+        }
+        EventKind::Gossip {
+            node,
+            peer,
+            entries,
+        } => {
+            field_u64(out, "node", *node);
+            field_u64(out, "peer", *peer);
+            field_u64(out, "entries", *entries);
+        }
     }
     out.push('}');
 }
