@@ -25,8 +25,10 @@ use kmsg_netsim::time::SimTime;
 use kmsg_oracle::{Json, OracleConfig, RunFacts, Shrinkable};
 use rand::Rng;
 
+use kmsg_netsim::cc::CcAlgorithm;
+
 use crate::dataset::Dataset;
-use crate::experiment::{run_in_world, ExperimentConfig, ExperimentResult, PingSettings};
+use crate::experiment::{run_in_world, CcSwap, ExperimentConfig, ExperimentResult, PingSettings};
 use crate::scenario::{Setup, TwoHostWorld};
 
 /// Latest time (ms) a generated fault window may heal; the horizon stays
@@ -106,6 +108,12 @@ pub struct ScenarioSpec {
     pub transport: Transport,
     /// Run parallel ping/pong control traffic.
     pub pings: bool,
+    /// Initial congestion controller for TCP channels (both stacks).
+    pub cc: CcAlgorithm,
+    /// Optional scripted mid-run controller swap: `(at_ms, controller)`
+    /// re-selects the sender→receiver TCP stack at `at_ms` and recycles
+    /// the live channel.
+    pub swap: Option<(u64, CcAlgorithm)>,
     /// Scripted fault windows (all heal before [`FAULT_DEADLINE_MS`]).
     pub faults: Vec<FaultSpec>,
     /// Hard wall on simulated time, ms.
@@ -133,6 +141,13 @@ impl ScenarioSpec {
             _ => Transport::Data,
         };
         let pings = rng.gen_bool(0.5);
+        let pick_cc = |r: &mut kmsg_netsim::rng::RngStream| {
+            CcAlgorithm::all()[r.gen_range(0..CcAlgorithm::all().len())]
+        };
+        let cc = pick_cc(&mut rng);
+        let swap = rng
+            .gen_bool(1.0 / 3.0)
+            .then(|| (rng.gen_range(500..10_000u64), pick_cc(&mut rng)));
         let n_faults = rng.gen_range(0..=2u64);
         let faults = (0..n_faults)
             .map(|_| {
@@ -163,6 +178,8 @@ impl ScenarioSpec {
             size_kb,
             transport,
             pings,
+            cc,
+            swap,
             faults,
             horizon_ms: 120_000,
         }
@@ -225,7 +242,7 @@ impl ScenarioSpec {
                 ])
             })
             .collect();
-        Json::obj(vec![
+        let mut fields = vec![
             ("seed", Json::Num(self.seed as f64)),
             ("relays", Json::Num(f64::from(self.relays))),
             ("bandwidth_mbps", Json::Num(self.bandwidth_mbps as f64)),
@@ -235,9 +252,15 @@ impl ScenarioSpec {
             ("size_kb", Json::Num(self.size_kb as f64)),
             ("transport", Json::Str(self.transport.label().to_string())),
             ("pings", Json::Bool(self.pings)),
+            ("cc", Json::Str(self.cc.label().to_string())),
             ("faults", Json::Arr(faults)),
             ("horizon_ms", Json::Num(self.horizon_ms as f64)),
-        ])
+        ];
+        if let Some((at_ms, algo)) = self.swap {
+            fields.push(("swap_ms", Json::Num(at_ms as f64)));
+            fields.push(("swap_cc", Json::Str(algo.label().to_string())));
+        }
+        Json::obj(fields)
     }
 
     /// Parses a spec back out of an artifact document.
@@ -285,6 +308,23 @@ impl ScenarioSpec {
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        // Lenient on the controller dimension: artifacts that predate it
+        // decode as plain Reno with no swap.
+        let cc = match doc.get("cc").and_then(Json::as_str) {
+            Some(label) => CcAlgorithm::from_label(label)
+                .ok_or_else(|| format!("bad controller {label:?}"))?,
+            None => CcAlgorithm::Reno,
+        };
+        let swap = match doc.get("swap_ms") {
+            Some(_) => Some((
+                num("swap_ms")?,
+                doc.get("swap_cc")
+                    .and_then(Json::as_str)
+                    .and_then(CcAlgorithm::from_label)
+                    .ok_or("swap with bad controller")?,
+            )),
+            None => None,
+        };
         Ok(ScenarioSpec {
             seed: num("seed")?,
             relays: u32::try_from(num("relays")?).map_err(|e| e.to_string())?,
@@ -298,6 +338,8 @@ impl ScenarioSpec {
                 .get("pings")
                 .and_then(Json::as_bool)
                 .ok_or("missing field 'pings'")?,
+            cc,
+            swap,
             faults,
             horizon_ms: num("horizon_ms")?,
         })
@@ -390,7 +432,13 @@ pub fn experiment_config(spec: &ScenarioSpec) -> ExperimentConfig {
     // The setup is ignored: `run_in_world` takes the chain world directly.
     let dataset = Dataset::random(usize::try_from(spec.size_kb).expect("size fits") * 1024, 5);
     let mut cfg = ExperimentConfig::transfer(Setup::Local, spec.transport, dataset, spec.seed);
-    cfg.net_template = Some(fuzz_net_template());
+    let mut tpl = fuzz_net_template();
+    tpl.tcp.cc.algorithm = spec.cc;
+    cfg.net_template = Some(tpl);
+    cfg.cc_swap = spec.swap.map(|(at_ms, algo)| CcSwap {
+        at: Duration::from_millis(at_ms),
+        algo,
+    });
     cfg.max_sim_time = Duration::from_millis(spec.horizon_ms);
     cfg.use_disk = false;
     cfg.ping = spec.pings.then(PingSettings::default);
@@ -466,6 +514,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> FuzzRun {
         reconnect_attempts: sup_a.reconnect_attempts + sup_b.reconnect_attempts,
         channels_dropped: sup_a.channels_dropped + sup_b.channels_dropped,
         failovers: sup_a.failovers + sup_b.failovers,
+        controller_swaps: sup_a.controller_swaps + sup_b.controller_swaps,
         fifo_expected: matches!(spec.transport, Transport::Tcp | Transport::Udt),
         evicted_events: result.recorder.evicted(),
         overlay: None,
@@ -508,9 +557,19 @@ impl Shrinkable for ScenarioSpec {
             s.jitter_us = 0;
             out.push(s);
         }
+        if self.swap.is_some() {
+            let mut s = self.clone();
+            s.swap = None;
+            out.push(s);
+        }
         if self.pings {
             let mut s = self.clone();
             s.pings = false;
+            out.push(s);
+        }
+        if self.cc != CcAlgorithm::Reno {
+            let mut s = self.clone();
+            s.cc = CcAlgorithm::Reno;
             out.push(s);
         }
         out
@@ -520,9 +579,11 @@ impl Shrinkable for ScenarioSpec {
         self.faults.len() as u64 * 10_000
             + u64::from(self.relays) * 1_000
             + self.size_kb
+            + u64::from(self.swap.is_some()) * 300
             + u64::from(self.loss_ppm > 0) * 200
             + u64::from(self.jitter_us > 0) * 100
             + u64::from(self.pings) * 50
+            + u64::from(self.cc != CcAlgorithm::Reno) * 20
     }
 }
 
@@ -546,7 +607,38 @@ mod tests {
                 assert!(f.hop <= a.relays);
             }
             assert!(a.horizon_ms > 2 * FAULT_DEADLINE_MS);
+            if let Some((at_ms, _)) = a.swap {
+                assert!((500..10_000).contains(&at_ms), "swap inside the fault era");
+            }
         }
+    }
+
+    #[test]
+    fn generation_covers_the_controller_dimension() {
+        let mut controllers = std::collections::BTreeSet::new();
+        let mut swaps = 0;
+        for seed in 0..200 {
+            let spec = ScenarioSpec::generate(seed);
+            controllers.insert(spec.cc.label());
+            swaps += usize::from(spec.swap.is_some());
+        }
+        assert_eq!(controllers.len(), 3, "all controllers generated: {controllers:?}");
+        assert!(
+            (20..180).contains(&swaps),
+            "roughly a third of scenarios carry a swap, got {swaps}/200"
+        );
+    }
+
+    #[test]
+    fn pre_controller_artifacts_decode_as_reno() {
+        let spec = ScenarioSpec::generate(3);
+        let mut doc = spec.to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "cc" && k != "swap_ms" && k != "swap_cc");
+        }
+        let back = ScenarioSpec::from_json(&doc).expect("lenient decode");
+        assert_eq!(back.cc, CcAlgorithm::Reno);
+        assert_eq!(back.swap, None);
     }
 
     #[test]

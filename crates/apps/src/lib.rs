@@ -26,7 +26,7 @@ pub mod transfer;
 pub use dataset::{Dataset, DatasetKind, PAPER_CHUNK_SIZE, PAPER_DATASET_SIZE};
 pub use disk::{DiskModel, DISK_RATE, MEMORY_RATE};
 pub use experiment::{
-    run_experiment, run_in_world, ExperimentConfig, ExperimentResult, PingSettings,
+    run_experiment, run_in_world, CcSwap, ExperimentConfig, ExperimentResult, PingSettings,
 };
 pub use fuzz::{
     build_chain_world, run_scenario, ChainWorld, FaultKind, FaultSpec, FuzzRun, ScenarioSpec,

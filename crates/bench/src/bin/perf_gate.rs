@@ -143,6 +143,38 @@ fn reroute_checks(baseline: &Json, fresh: &Json, out: &mut Vec<Check>) {
     }
 }
 
+/// Congestion-controller comparison: rows keyed by `name` (controller
+/// label), gated on `goodput_mbps` (higher is better). Goodput on the
+/// fixed lossy-WAN scenario is virtual-time and deterministic per seed,
+/// so a drop past tolerance is a genuine controller behaviour change.
+fn cc_checks(baseline: &Json, fresh: &Json, out: &mut Vec<Check>) {
+    let base_rows = baseline.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    let fresh_rows = fresh.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
+    for b in base_rows {
+        let Some(name) = b.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(f) = fresh_rows
+            .iter()
+            .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            kmsg_telemetry::log_info!("perf_gate: note: cc '{name}' absent from fresh run");
+            continue;
+        };
+        if let (Some(bv), Some(fv)) = (
+            num(baseline, b, "goodput_mbps", "cc"),
+            num(fresh, f, "goodput_mbps", "cc"),
+        ) {
+            out.push(Check {
+                label: format!("cc/{name}/goodput_mbps"),
+                baseline: bv,
+                fresh: fv,
+                higher_is_better: true,
+            });
+        }
+    }
+}
+
 /// Scale probe: rows keyed by `hosts`, gated on `events_per_sec` and
 /// `bytes_per_flow`.
 fn scale_checks(baseline: &Json, fresh: &Json, out: &mut Vec<Check>) {
@@ -218,6 +250,11 @@ fn main() -> ExitCode {
     reroute_checks(
         &load(&baseline_dir, "BENCH_reroute.json"),
         &load(&fresh_dir, "BENCH_reroute.json"),
+        &mut checks,
+    );
+    cc_checks(
+        &load(&baseline_dir, "BENCH_cc.json"),
+        &load(&fresh_dir, "BENCH_cc.json"),
         &mut checks,
     );
     assert!(

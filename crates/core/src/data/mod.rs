@@ -3,6 +3,8 @@
 //! * [`ratio`] — the target TCP/UDT mix and its representations;
 //! * [`psp`] — per-message protocol selection policies (random, pattern);
 //! * [`prp`] — per-episode protocol ratio policies (static, TD(λ) learner);
+//! * [`stack`] — per-destination congestion-controller selection (the
+//!   transports × controllers surface);
 //! * [`interceptor`] — the `data-network-interceptor` component wiring the
 //!   policies into the message path.
 
@@ -10,6 +12,7 @@ pub mod interceptor;
 pub mod prp;
 pub mod psp;
 pub mod ratio;
+pub mod stack;
 
 pub use interceptor::{
     DataNetworkComponent, DataNetworkConfig, DataStatsHandle, FlowPoint, PrpKind, PspKind,
@@ -24,6 +27,7 @@ pub use psp::{
     RandomSelection,
 };
 pub use ratio::{ProtocolFraction, Ratio};
+pub use stack::{controller_space, variant_algorithm, StackPolicy};
 
 use kmsg_component::prelude::*;
 use kmsg_netsim::network::{BindError, Network};

@@ -117,6 +117,11 @@ pub struct NetworkConfig {
     /// restores the legacy at-most-once behaviour (queued and unacked
     /// frames fail immediately with [`SendError::ChannelClosed`]).
     pub reconnect: Option<ReconnectConfig>,
+    /// Per-destination congestion-controller overrides, consulted on
+    /// every TCP dial (and redial). Shared: the experiment driver or a
+    /// learner holds the same [`StackPolicy`] and steers controllers at
+    /// runtime via [`NetworkComponent::swap_controller`].
+    pub stack: Arc<crate::data::stack::StackPolicy>,
 }
 
 impl NetworkConfig {
@@ -131,6 +136,7 @@ impl NetworkConfig {
             data_fallback: Some(Transport::Tcp),
             idle_timeout: None,
             reconnect: Some(ReconnectConfig::default()),
+            stack: Arc::new(crate::data::stack::StackPolicy::new()),
         }
     }
 }
@@ -177,6 +183,9 @@ pub struct MiddlewareStats {
     /// `DATA` messages rerouted to the surviving transport because the
     /// selected transport's channel was dropped.
     pub failovers: u64,
+    /// Live TCP channels recycled onto a different congestion controller
+    /// by [`NetworkComponent::swap_controller`].
+    pub controller_swaps: u64,
 }
 
 impl MiddlewareStats {
@@ -209,6 +218,7 @@ impl MiddlewareStats {
             reconnects: self.reconnects,
             channels_dropped: self.channels_dropped,
             failovers: self.failovers,
+            controller_swaps: self.controller_swaps,
         }
     }
 }
@@ -228,13 +238,15 @@ pub struct SupervisionSummary {
     pub channels_dropped: u64,
     /// `DATA` messages rerouted to the surviving transport.
     pub failovers: u64,
+    /// Live channels recycled onto a different congestion controller.
+    pub controller_swaps: u64,
 }
 
 impl SupervisionSummary {
     /// Supervision episodes that may each re-deliver in-flight frames.
     #[must_use]
     pub fn episodes(&self) -> u64 {
-        self.reconnects + self.channels_dropped + self.failovers
+        self.reconnects + self.channels_dropped + self.failovers + self.controller_swaps
     }
 
     /// Whether the run saw any supervision activity at all.
@@ -748,6 +760,18 @@ impl NetworkComponent {
         }
     }
 
+    /// The TCP configuration a dial to `remote` should use: the base
+    /// config with the stack policy's per-destination controller override
+    /// applied. Consulted at dial time, so a swap takes effect on the
+    /// next (re)connect even without an explicit recycle.
+    fn tcp_config_for(&self, remote: Endpoint) -> TcpConfig {
+        let mut cfg = self.cfg.tcp.clone();
+        if let Some(algo) = self.cfg.stack.lookup(remote) {
+            cfg.cc.algorithm = algo;
+        }
+        cfg
+    }
+
     fn open_channel(&mut self, key: ChannelKey) -> Result<(), BindError> {
         let events = self
             .self_events
@@ -760,7 +784,7 @@ impl NetworkComponent {
                 &self.net,
                 node,
                 key.remote,
-                self.cfg.tcp.clone(),
+                self.tcp_config_for(key.remote),
                 handler,
             )?),
             Transport::Udt => Connection::Udt(UdtConn::connect(
@@ -1254,7 +1278,7 @@ impl NetworkComponent {
                 &self.net,
                 node,
                 key.remote,
-                self.cfg.tcp.clone(),
+                self.tcp_config_for(key.remote),
                 handler,
             )
             .map(Connection::Tcp),
@@ -1324,6 +1348,142 @@ impl NetworkComponent {
                     conn.close();
                 }
                 self.stats.lock().channels_closed += 1;
+            }
+        }
+    }
+
+    // --- controller stack policy ----------------------------------------
+
+    /// Re-selects the congestion controller for TCP traffic to `remote`
+    /// (the DATA stack-policy surface): records the decision in the
+    /// shared [`StackPolicy`](crate::data::stack::StackPolicy) — so every
+    /// future dial and redial picks it up — and, when a live TCP channel
+    /// to the peer exists, recycles it onto the new controller
+    /// immediately. Returns `true` if the effective selection changed.
+    ///
+    /// Recycling is at-least-once, like supervision: frames the old
+    /// transport had not acknowledged are requeued ahead of pending ones
+    /// on the fresh connection, and the swap counts as a supervision
+    /// episode ([`MiddlewareStats::controller_swaps`]) for the delivery
+    /// oracle's duplicate budget.
+    pub fn swap_controller(
+        &mut self,
+        remote: Endpoint,
+        algo: kmsg_netsim::cc::CcAlgorithm,
+    ) -> bool {
+        let changed = self.cfg.stack.set(remote, algo);
+        let key = ChannelKey {
+            remote,
+            transport: Transport::Tcp,
+        };
+        let recycled = changed
+            && self
+                .channels
+                .get(&key)
+                .is_some_and(|c| c.conn.is_some());
+        let sim = self.net.sim();
+        let rec = sim.recorder();
+        if rec.is_enabled() && changed {
+            rec.record(
+                sim.now().as_nanos(),
+                EventKind::CcSwap {
+                    peer: peer_key(remote),
+                    controller: algo.label(),
+                    recycled,
+                },
+            );
+        }
+        if recycled {
+            self.recycle_channel(key);
+        }
+        changed
+    }
+
+    /// Tears down a live channel's connection and dials a replacement
+    /// with the current (post-swap) transport configuration, carrying the
+    /// send queue over. The old connection is closed gracefully and
+    /// unlinked first, so its Closed event is not mistaken for an outage.
+    fn recycle_channel(&mut self, key: ChannelKey) {
+        let old_conn = match self.channels.get_mut(&key) {
+            Some(c) => match c.conn.take() {
+                Some(conn) => conn,
+                None => return,
+            },
+            None => return,
+        };
+        self.conn_index.remove(&old_conn.id());
+        old_conn.close();
+        let tr = self.tracer();
+        let now_ns = self.now_ns();
+        let channel = self.channels.get_mut(&key).expect("checked above");
+        channel.phase = Phase::Connecting;
+        // We dial the replacement, so this side supervises it from now on.
+        channel.originated = true;
+        // At-least-once carry-over, exactly like supervision: rewind
+        // write progress and requeue unacknowledged frames ahead of
+        // pending ones (they are older).
+        for frame in channel.pending.iter_mut() {
+            frame.written = 0;
+        }
+        while let Some(acked) = channel.awaiting_ack.pop_back() {
+            tr.close_with(now_ns, SpanId::from_raw(acked.xmit_span), SPAN_FAILED);
+            let msg_span = SpanId::from_raw(acked.msg_span);
+            channel.pending.push_front(OutFrame {
+                bytes: acked.bytes,
+                written: 0,
+                notify: acked.notify,
+                msg_span: acked.msg_span,
+                enq_span: tr
+                    .open(
+                        now_ns,
+                        SpanKind::Enqueue,
+                        msg_span,
+                        msg_span,
+                        channel_span_key(key),
+                    )
+                    .raw(),
+            });
+        }
+        channel.written_total = 0;
+        {
+            let mut stats = self.stats.lock();
+            stats.controller_swaps += 1;
+            stats.channels_closed += 1;
+        }
+        let events = self
+            .self_events
+            .clone()
+            .expect("NetworkComponent used before create_network() wiring");
+        let handler = Arc::new(ConnForwarder { events });
+        let node = self.cfg.addr.node();
+        match TcpConn::connect(
+            &self.net,
+            node,
+            key.remote,
+            self.tcp_config_for(key.remote),
+            handler,
+        ) {
+            Ok(conn) => {
+                let conn = Connection::Tcp(conn);
+                self.conn_index.insert(conn.id(), key);
+                if let Some(channel) = self.channels.get_mut(&key) {
+                    channel.conn = Some(conn);
+                }
+                self.stats.lock().channels_opened += 1;
+                // The handshake's Connected event drains the queue.
+            }
+            Err(_) => {
+                // Local dial failure (port space exhausted): fail queued
+                // frames, the at-most-once fallback.
+                if let Some(mut channel) = self.channels.remove(&key) {
+                    for frame in channel.pending.drain(..) {
+                        tr.close_with(now_ns, SpanId::from_raw(frame.enq_span), SPAN_FAILED);
+                        tr.close_with(now_ns, SpanId::from_raw(frame.msg_span), SPAN_FAILED);
+                        if let Some(t) = frame.notify {
+                            self.fail(Some(t), SendError::ChannelClosed);
+                        }
+                    }
+                }
             }
         }
     }

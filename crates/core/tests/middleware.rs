@@ -9,6 +9,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use kmsg_component::prelude::*;
 use kmsg_core::prelude::*;
+use kmsg_netsim::cc::CcAlgorithm;
 use kmsg_netsim::engine::Sim;
 use kmsg_netsim::link::LinkConfig;
 use kmsg_netsim::network::Network;
@@ -1176,6 +1177,113 @@ fn backoff_saturates_at_max_with_bounded_jitter() {
     let first = run();
     let second = run();
     assert_eq!(first, second, "the jittered schedule must replay exactly");
+}
+
+/// Runtime controller swap (the DATA stack-policy surface): swapping a
+/// live TCP channel onto CUBIC recycles the connection in place — no
+/// ConnectionLost surfaces, traffic keeps flowing, the swap is counted
+/// as a supervision episode and recorded on the flight recorder.
+#[test]
+fn runtime_controller_swap_recycles_the_live_channel() {
+    let (w, nodes) = world(default_link(), 2);
+    w.sim.recorder().enable();
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    for i in 0..10u64 {
+        a.send.push(NetRequest::Msg(NetMessage::new(a.addr, b.addr, Transport::Tcp, i)));
+    }
+    w.sim.run_for(Duration::from_secs(2));
+    assert_eq!(b.app.on_definition(|h| h.received.len()), 10);
+    let changed = a
+        .network
+        .on_definition(|n| n.swap_controller(b.addr.as_socket(), CcAlgorithm::Cubic));
+    assert!(changed, "reno -> cubic is an effective change");
+    w.sim.run_for(Duration::from_secs(1));
+    {
+        let stats = a.stats.lock();
+        assert_eq!(stats.controller_swaps, 1);
+        assert_eq!(stats.channels_opened, 2, "the recycle dials a fresh connection");
+        assert_eq!(stats.channels_closed, 1);
+    }
+    for i in 10..20u64 {
+        a.send.push(NetRequest::Msg(NetMessage::new(a.addr, b.addr, Transport::Tcp, i)));
+    }
+    w.sim.run_for(Duration::from_secs(2));
+    let got: Vec<u64> = b.app.on_definition(|h| {
+        h.received
+            .iter()
+            .map(|m| m.try_deserialise::<u64, u64>().expect("u64"))
+            .collect()
+    });
+    assert_eq!(got, (0..20).collect::<Vec<_>>(), "no traffic lost across the swap");
+    // The deliberate recycle must not masquerade as an outage.
+    let statuses = a.app.on_definition(|h| h.statuses.clone());
+    assert!(
+        !statuses.iter().any(|s| s.status == ConnStatus::ConnectionLost),
+        "a swap is not an outage, got {statuses:?}"
+    );
+    // Re-selecting the same controller is a no-op.
+    let changed = a
+        .network
+        .on_definition(|n| n.swap_controller(b.addr.as_socket(), CcAlgorithm::Cubic));
+    assert!(!changed);
+    assert_eq!(a.stats.lock().controller_swaps, 1, "no-op swaps do not recycle");
+    // The decision is on the flight recorder, once.
+    let swaps: Vec<(&'static str, bool)> = w
+        .sim
+        .recorder()
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            kmsg_telemetry::EventKind::CcSwap {
+                controller,
+                recycled,
+                ..
+            } => Some((controller, recycled)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(swaps, vec![("cubic", true)]);
+}
+
+/// A controller override installed before any traffic applies on the
+/// first dial: the policy changes, nothing is recycled, and the fresh
+/// connection runs the selected controller (visible as BBR telemetry).
+#[test]
+fn controller_swap_before_dial_applies_on_first_connect() {
+    let (w, nodes) = world(default_link(), 2);
+    w.sim.recorder().enable();
+    let a = stack(&w, nodes[0], 7000);
+    let b = stack(&w, nodes[1], 7000);
+    let changed = a
+        .network
+        .on_definition(|n| n.swap_controller(b.addr.as_socket(), CcAlgorithm::Bbr));
+    assert!(changed, "a policy change with no live channel still counts");
+    assert_eq!(a.stats.lock().controller_swaps, 0, "nothing to recycle yet");
+    for i in 0..40u64 {
+        a.send.push(NetRequest::Msg(NetMessage::new(a.addr, b.addr, Transport::Tcp, i)));
+    }
+    w.sim.run_for(Duration::from_secs(3));
+    assert_eq!(b.app.on_definition(|h| h.received.len()), 40);
+    assert_eq!(a.stats.lock().channels_opened, 1);
+    let events = w.sim.recorder().events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, kmsg_telemetry::EventKind::BbrState { .. })),
+        "the first dial must pick BBR up from the stack policy"
+    );
+    assert!(
+        events.iter().any(|e| matches!(
+            e.kind,
+            kmsg_telemetry::EventKind::CcSwap {
+                controller: "bbr",
+                recycled: false,
+                ..
+            }
+        )),
+        "the pre-dial swap is recorded as not recycled"
+    );
 }
 
 /// Garbage on the wire must never take the middleware down — it is

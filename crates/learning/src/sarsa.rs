@@ -10,7 +10,7 @@
 use rand::Rng;
 
 use crate::policy::{EpsilonGreedy, EpsilonGreedyConfig};
-use crate::space::{ActionIdx, RatioSpace, StateIdx};
+use crate::space::{ActionIdx, RatioSpace, Space, StateIdx};
 use crate::value::ActionValue;
 
 /// Trace accumulation style.
@@ -93,9 +93,11 @@ pub struct DecisionRecord {
 /// Observer invoked once per [`Sarsa::step`] with the decision taken.
 pub type DecisionProbe = Box<dyn FnMut(DecisionRecord) + Send>;
 
-/// The Sarsa(λ) learner, generic over the value-function backend.
-pub struct Sarsa<V: ActionValue, R: Rng> {
-    space: RatioSpace,
+/// The Sarsa(λ) learner, generic over the value-function backend and the
+/// state/action space (the paper's [`RatioSpace`] by default; see
+/// [`crate::space::StackSpace`] for the transports × controllers variant).
+pub struct Sarsa<V: ActionValue, R: Rng, S: Space = RatioSpace> {
+    space: S,
     cfg: SarsaConfig,
     value: V,
     policy: EpsilonGreedy<R>,
@@ -105,7 +107,7 @@ pub struct Sarsa<V: ActionValue, R: Rng> {
     probe: Option<DecisionProbe>,
 }
 
-impl<V: ActionValue, R: Rng> std::fmt::Debug for Sarsa<V, R> {
+impl<V: ActionValue, R: Rng, S: Space> std::fmt::Debug for Sarsa<V, R, S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sarsa")
             .field("backend", &self.value.name())
@@ -115,9 +117,9 @@ impl<V: ActionValue, R: Rng> std::fmt::Debug for Sarsa<V, R> {
     }
 }
 
-impl<V: ActionValue, R: Rng> Sarsa<V, R> {
+impl<V: ActionValue, R: Rng, S: Space> Sarsa<V, R, S> {
     /// Creates a learner over `space` with backend `value`.
-    pub fn new(space: RatioSpace, cfg: SarsaConfig, value: V, rng: R) -> Self {
+    pub fn new(space: S, cfg: SarsaConfig, value: V, rng: R) -> Self {
         let traces = vec![0.0; space.num_states() * space.num_actions()];
         Sarsa {
             space,
@@ -260,7 +262,7 @@ impl<V: ActionValue, R: Rng> Sarsa<V, R> {
 
     /// The state/action space.
     #[must_use]
-    pub fn space(&self) -> RatioSpace {
+    pub fn space(&self) -> S {
         self.space
     }
 
@@ -536,6 +538,50 @@ mod tests {
             assert!(d.action < space.num_actions());
             assert!((0.0..=1.0).contains(&d.epsilon));
         }
+    }
+
+    #[test]
+    fn stack_space_learner_finds_the_best_controller() {
+        use crate::space::StackSpace;
+        // Reward peaks at ratio -1 *and* depends on the controller variant:
+        // variant 2 (say, BBR on a lossy WAN) earns a flat bonus. The
+        // learner must settle both axes.
+        let space = StackSpace::default();
+        let reward = |s: StateIdx| {
+            let (rs, v) = space.split_state(s);
+            let x = space.ratio_space().state_value(rs);
+            let bonus = if v == 2 { 0.5 } else { 0.0 };
+            1.0 - (x + 1.0) * (x + 1.0) + bonus
+        };
+        let mut tally = 0usize;
+        let seeds = [1u64, 2, 3, 4, 5, 6];
+        for &seed in &seeds {
+            let mut learner = Sarsa::new(
+                space,
+                SarsaConfig::default(),
+                ModelV::new(space),
+                ChaCha12Rng::seed_from_u64(seed),
+            );
+            let mut s = space.nearest_state(0.0, 0);
+            let mut a = learner.begin(s);
+            let mut variant_hits = 0usize;
+            let steps = 600;
+            for i in 0..steps {
+                let s_next = space.transition(s, a);
+                a = learner.step(reward(s_next), s_next);
+                s = s_next;
+                if i >= steps * 3 / 4 && space.split_state(s).1 == 2 {
+                    variant_hits += 1;
+                }
+            }
+            if variant_hits * 2 > steps / 4 {
+                tally += 1;
+            }
+        }
+        assert!(
+            tally >= 4,
+            "learner should prefer the bonus controller on most seeds, got {tally}/6"
+        );
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //!    only two observations; converges within seconds and avoids late
 //!    backtracking (Figure 6).
 
-use crate::space::{ActionIdx, RatioSpace, StateIdx};
+use crate::space::{ActionIdx, RatioSpace, Space, StateIdx};
 
-/// An action-value estimator `Q(s, a)` over a [`RatioSpace`].
+/// An action-value estimator `Q(s, a)` over a [`Space`].
 pub trait ActionValue: Send {
     /// The learned estimate for `(s, a)`, or `None` if that entry has never
     /// been updated (and cannot be extrapolated).
@@ -45,15 +45,15 @@ impl ActionValue for Box<dyn ActionValue> {
 
 /// Dense `Q(s, a)` matrix (the paper's default, Figure 4).
 #[derive(Debug, Clone)]
-pub struct MatrixQ {
-    space: RatioSpace,
+pub struct MatrixQ<S: Space = RatioSpace> {
+    space: S,
     q: Vec<Option<f64>>,
 }
 
-impl MatrixQ {
+impl<S: Space> MatrixQ<S> {
     /// Creates an all-uninitialised matrix.
     #[must_use]
-    pub fn new(space: RatioSpace) -> Self {
+    pub fn new(space: S) -> Self {
         MatrixQ {
             space,
             q: vec![None; space.num_states() * space.num_actions()],
@@ -71,7 +71,7 @@ impl MatrixQ {
     }
 }
 
-impl ActionValue for MatrixQ {
+impl<S: Space> ActionValue for MatrixQ<S> {
     fn q(&self, s: StateIdx, a: ActionIdx) -> Option<f64> {
         self.q[self.idx(s, a)]
     }
@@ -90,15 +90,15 @@ impl ActionValue for MatrixQ {
 /// Model-collapsed state-value function: `Q(s, a) = V(M(s, a))`
 /// (Figure 5).
 #[derive(Debug, Clone)]
-pub struct ModelV {
-    space: RatioSpace,
+pub struct ModelV<S: Space = RatioSpace> {
+    space: S,
     v: Vec<Option<f64>>,
 }
 
-impl ModelV {
+impl<S: Space> ModelV<S> {
     /// Creates an all-uninitialised state-value vector.
     #[must_use]
-    pub fn new(space: RatioSpace) -> Self {
+    pub fn new(space: S) -> Self {
         ModelV {
             space,
             v: vec![None; space.num_states()],
@@ -112,7 +112,7 @@ impl ModelV {
     }
 }
 
-impl ActionValue for ModelV {
+impl<S: Space> ActionValue for ModelV<S> {
     fn q(&self, s: StateIdx, a: ActionIdx) -> Option<f64> {
         self.v[self.space.transition(s, a).0]
     }
@@ -135,15 +135,15 @@ impl ActionValue for ModelV {
 /// least two observations exist (two points: linear fit; three or more:
 /// quadratic fit).
 #[derive(Debug, Clone)]
-pub struct ApproxV {
-    inner: ModelV,
-    space: RatioSpace,
+pub struct ApproxV<S: Space = RatioSpace> {
+    inner: ModelV<S>,
+    space: S,
 }
 
-impl ApproxV {
+impl<S: Space> ApproxV<S> {
     /// Creates an empty approximated value function.
     #[must_use]
-    pub fn new(space: RatioSpace) -> Self {
+    pub fn new(space: S) -> Self {
         ApproxV {
             inner: ModelV::new(space),
             space,
@@ -182,7 +182,7 @@ impl ApproxV {
     }
 }
 
-impl ActionValue for ApproxV {
+impl<S: Space> ActionValue for ApproxV<S> {
     fn q(&self, s: StateIdx, a: ActionIdx) -> Option<f64> {
         let target = self.space.transition(s, a);
         // Never use an approximated value when a learned one exists.

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cc;
 pub mod engine;
 pub mod faults;
 pub mod iface;
@@ -53,6 +54,7 @@ pub mod udp;
 pub mod udt;
 pub mod wheel;
 
+pub use cc::{CcAlgorithm, CcConfig, CongestionController};
 pub use engine::{EventTarget, Sim};
 pub use faults::{FaultAction, FaultController, FaultEvent, FaultPlan};
 pub use reference::ReferenceSim;

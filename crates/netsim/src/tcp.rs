@@ -1,11 +1,16 @@
-//! Packet-level simulated TCP (Reno with NewReno partial-ACK recovery).
+//! Packet-level simulated TCP with pluggable congestion control (Reno with
+//! NewReno partial-ACK recovery by default; CUBIC and BBR via
+//! [`crate::cc`]).
 //!
 //! Implements the mechanisms responsible for TCP's behaviour in the paper's
 //! experiments: slow start and AIMD congestion avoidance, fast
 //! retransmit/fast recovery on triple duplicate ACKs, retransmission
 //! timeouts with exponential backoff (RFC 6298-style RTT estimation via
 //! timestamp echo), receiver flow control (advertised window bounded by the
-//! receive buffer), and delayed ACKs.
+//! receive buffer), and delayed ACKs. Window/rate evolution is delegated to
+//! the flow's [`CongestionController`] ([`TcpConfig::cc`] selects it);
+//! rate-based controllers pace data segments on a per-flow virtual-time
+//! pacer timer.
 //!
 //! On clean low-RTT paths TCP fills the link; on high bandwidth-delay
 //! product paths with random loss its average window follows the well-known
@@ -30,6 +35,7 @@ use bytes::Bytes;
 use kmsg_telemetry::{EventKind, Recorder, SpanKind};
 use parking_lot::Mutex;
 
+use crate::cc::{self, CcConfig, CcCtx, CongestionController};
 use crate::engine::{EventTarget, Sim};
 use crate::iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvents};
 use crate::network::{BindError, Network, PacketSink, WeakNetwork};
@@ -65,6 +71,10 @@ pub struct TcpConfig {
     /// space (not just when a blocked writer can resume). Lets middleware
     /// track delivery progress for acked-based notifications.
     pub ack_progress_events: bool,
+    /// Congestion-controller selection and tuning (Reno, CUBIC, or BBR);
+    /// part of config interning, so flows sharing a controller variant
+    /// share one table entry.
+    pub cc: CcConfig,
     /// Test-only fault: skip the multiplicative decrease (and its
     /// `fast_recovery` telemetry event) when receiver-reported holes signal
     /// a fresh loss episode, while still fast-retransmitting the holes.
@@ -88,6 +98,7 @@ impl Default for TcpConfig {
             max_consecutive_timeouts: 15,
             delack_timeout: Duration::from_millis(40),
             ack_progress_events: true,
+            cc: CcConfig::default(),
             buggy_no_fast_recovery: false,
         }
     }
@@ -233,6 +244,7 @@ const TOKEN_IDX_SHIFT: u32 = 32;
 const TOKEN_IDX_MASK: u64 = (1 << 29) - 1;
 const KIND_RTO: u64 = 0;
 const KIND_DELACK: u64 = 1;
+const KIND_PACER: u64 = 2;
 
 fn token(kind: u64, h: Handle<Flow>) -> u64 {
     (kind << TOKEN_KIND_SHIFT)
@@ -270,6 +282,17 @@ struct Flow {
     /// is always covered).
     rto_armed: bool,
     rto_deadline: SimTime,
+    /// The flow's congestion controller (built from `cfg.cc`); owns all
+    /// algorithm-private state, while `cwnd`/`ssthresh` stay here for the
+    /// send path.
+    cc: Box<dyn CongestionController>,
+    /// A pacer timer is outstanding (same staleness discipline as the RTO:
+    /// a firing earlier than `pacer_deadline` is stale and ignored).
+    pacer_armed: bool,
+    pacer_deadline: SimTime,
+    /// Earliest instant the pacer gate allows the next data segment
+    /// (rate-paced controllers only; `ZERO` sends immediately).
+    pacer_next: SimTime,
     consecutive_timeouts: u32,
     syn_retries_left: u32,
     fin_queued: bool,
@@ -338,6 +361,10 @@ impl Flow {
             rto: Duration::from_secs(1),
             rto_armed: false,
             rto_deadline: SimTime::ZERO,
+            cc: cc::build(&cfg.cc),
+            pacer_armed: false,
+            pacer_deadline: SimTime::ZERO,
+            pacer_next: SimTime::ZERO,
             consecutive_timeouts: 0,
             syn_retries_left: cfg.syn_retries,
             fin_queued: false,
@@ -384,6 +411,7 @@ enum Action {
     Closed(CloseReason),
     ArmRto(Duration),
     ArmDelack(Duration),
+    ArmPacer(Duration),
 }
 
 /// A port with a registered [`StreamAccept`] handler plus the flows it has
@@ -477,6 +505,7 @@ impl TcpStack {
             }
             flow.state = State::Closed;
             flow.rto_armed = false;
+            flow.pacer_armed = false;
             flow.delack_pending = 0;
             flow.send_q.clear();
             flow.send_q_bytes = 0;
@@ -591,6 +620,10 @@ impl TcpStack {
                     self.sim
                         .schedule_target_in(delay, self.clone(), token(KIND_DELACK, h));
                 }
+                Action::ArmPacer(delay) => {
+                    self.sim
+                        .schedule_target_in(delay, self.clone(), token(KIND_PACER, h));
+                }
             }
         }
     }
@@ -630,10 +663,8 @@ impl TcpStack {
                 }
                 return;
             }
-            // RFC 5681 timeout response.
-            let flight = flow.flight() as f64;
-            flow.ssthresh = (flight / 2.0).max((2 * cfg.mss) as f64);
-            flow.cwnd = cfg.mss as f64;
+            // Timeout response is the controller's call (Reno: RFC 5681
+            // collapse to one MSS); episode bookkeeping stays here.
             flow.in_recovery = true;
             flow.recover = flow.snd_nxt;
             flow.rto = (flow.rto * 2).min(cfg.max_rto);
@@ -645,15 +676,7 @@ impl TcpStack {
                     consecutive: u64::from(flow.consecutive_timeouts),
                 },
             );
-            rec.record(
-                now.as_nanos(),
-                EventKind::TcpCwnd {
-                    conn: flow.conn_id,
-                    cwnd: flow.cwnd,
-                    ssthresh: flow.ssthresh,
-                    cause: "rto",
-                },
-            );
+            with_cc(flow, cfg, rec, |cc, ctx| cc.on_rto(ctx, now));
             if flow.state == State::Established {
                 // Go-back-N style: everything unacknowledged is presumed
                 // lost; retransmission is paced by returning ACKs.
@@ -664,6 +687,16 @@ impl TcpStack {
                 retransmit_first(flow, cfg, rec, now, out);
             }
             arm_rto(flow, now, out);
+        });
+    }
+
+    fn on_pacer_fired(self: &Arc<Self>, h: Handle<Flow>) {
+        self.process(h, |flow, cfg, rec, now, out| {
+            if !flow.pacer_armed || now < flow.pacer_deadline || flow.state == State::Closed {
+                return;
+            }
+            flow.pacer_armed = false;
+            try_send(flow, cfg, rec, now, out);
         });
     }
 
@@ -839,6 +872,7 @@ impl EventTarget for TcpStack {
         match kind {
             KIND_RTO => self.on_rto_fired(h),
             KIND_DELACK => self.on_delack_fired(h),
+            KIND_PACER => self.on_pacer_fired(h),
             _ => {}
         }
     }
@@ -872,6 +906,28 @@ fn complete_handshake_active(
     try_send(flow, cfg, rec, now, out);
 }
 
+/// Runs a congestion-controller hook with the window state borrowed
+/// piecewise out of the flow (cwnd/ssthresh mutably, the rest by value).
+fn with_cc(
+    flow: &mut Flow,
+    cfg: &TcpConfig,
+    rec: &Recorder,
+    f: impl FnOnce(&mut dyn CongestionController, &mut CcCtx<'_>),
+) {
+    let flight = flow.flight() as f64;
+    let conn = flow.conn_id;
+    let Flow { cwnd, ssthresh, cc, .. } = flow;
+    let mut ctx = CcCtx {
+        cwnd,
+        ssthresh,
+        mss: cfg.mss as f64,
+        flight,
+        conn,
+        rec,
+    };
+    f(cc.as_mut(), &mut ctx);
+}
+
 fn update_rtt(flow: &mut Flow, cfg: &TcpConfig, now: SimTime, echo: SimTime) {
     let sample = now.duration_since(echo).as_secs_f64();
     match flow.srtt {
@@ -889,6 +945,7 @@ fn update_rtt(flow: &mut Flow, cfg: &TcpConfig, now: SimTime, echo: SimTime) {
     flow.rto = Duration::from_secs_f64(rto)
         .max(cfg.min_rto)
         .min(cfg.max_rto);
+    flow.cc.on_rtt_sample(sample, now);
 }
 
 fn pure_ack(flow: &Flow, cfg: &TcpConfig, now: SimTime) -> TcpSegment {
@@ -929,6 +986,18 @@ fn arm_rto(flow: &mut Flow, now: SimTime, out: &mut Vec<Action>) {
     flow.rto_armed = true;
     flow.rto_deadline = now + flow.rto;
     out.push(Action::ArmRto(flow.rto));
+}
+
+/// Schedules a pacer wake-up at the flow's next pacing gate (rate-based
+/// controllers only). Idempotent per gate: re-arming moves the deadline and
+/// earlier firings go stale.
+fn arm_pacer(flow: &mut Flow, now: SimTime, out: &mut Vec<Action>) {
+    if flow.pacer_armed && flow.pacer_deadline == flow.pacer_next {
+        return;
+    }
+    flow.pacer_armed = true;
+    flow.pacer_deadline = flow.pacer_next;
+    out.push(Action::ArmPacer(flow.pacer_next.duration_since(now)));
 }
 
 fn disarm_rto(flow: &mut Flow) {
@@ -1016,24 +1085,9 @@ fn process_ack(
         }
         if flow.in_recovery && flow.snd_una >= flow.recover {
             flow.in_recovery = false;
-            flow.cwnd = flow.cwnd.min(flow.ssthresh.max((2 * cfg.mss) as f64));
-            rec.record(
-                now.as_nanos(),
-                EventKind::TcpCwnd {
-                    conn: flow.conn_id,
-                    cwnd: flow.cwnd,
-                    ssthresh: flow.ssthresh,
-                    cause: "recovery_exit",
-                },
-            );
+            with_cc(flow, cfg, rec, |cc, ctx| cc.on_recovery_exit(ctx, now));
         }
-        let mss = cfg.mss as f64;
-        if flow.cwnd < flow.ssthresh {
-            // Slow start with appropriate byte counting.
-            flow.cwnd += (newly as f64).min(mss);
-        } else {
-            flow.cwnd += mss * mss / flow.cwnd;
-        }
+        with_cc(flow, cfg, rec, |cc, ctx| cc.on_ack(ctx, newly, now));
         if flow.flight() > 0 {
             arm_rto(flow, now, out);
         } else {
@@ -1084,19 +1138,8 @@ fn note_holes(
     if fresh_loss && !flow.in_recovery && !cfg.buggy_no_fast_recovery {
         flow.in_recovery = true;
         flow.recover = flow.snd_nxt;
-        let flight = flow.flight() as f64;
-        flow.ssthresh = (flight / 2.0).max((2 * cfg.mss) as f64);
-        flow.cwnd = flow.ssthresh;
         flow.stats.fast_recoveries += 1;
-        rec.record(
-            now.as_nanos(),
-            EventKind::TcpCwnd {
-                conn: flow.conn_id,
-                cwnd: flow.cwnd,
-                ssthresh: flow.ssthresh,
-                cause: "fast_recovery",
-            },
-        );
+        with_cc(flow, cfg, rec, |cc, ctx| cc.on_loss(ctx, now));
     }
 }
 
@@ -1279,6 +1322,13 @@ fn try_send(
             }
             break;
         }
+        // Rate pacing: a controller with a pacing rate gates each data
+        // segment on the virtual-time pacer instead of bursting the whole
+        // window (ACK clocking alone).
+        if flow.cc.pacing_rate().is_some() && now < flow.pacer_next {
+            arm_pacer(flow, now, out);
+            break;
+        }
         let head = flow.send_q.front_mut().expect("non-empty send queue");
         let take = head.len().min(cfg.mss);
         let payload = head.split_to(take);
@@ -1313,6 +1363,14 @@ fn try_send(
         );
         flow.snd_nxt += take as u64;
         out.push(Action::Send(seg));
+        // Advance the pacing gate by this segment's serialization time at
+        // the controller's rate.
+        if let Some(rate) = flow.cc.pacing_rate() {
+            if rate > 0.0 {
+                let gap = Duration::from_secs_f64(take as f64 / rate);
+                flow.pacer_next = flow.pacer_next.max(now) + gap;
+            }
+        }
     }
     if flow.flight() > 0 && !flow.rto_armed {
         arm_rto(flow, now, out);

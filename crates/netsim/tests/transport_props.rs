@@ -1,20 +1,26 @@
 //! Property-based tests on the transport models: whatever the write
 //! pattern, loss rate or delay, the reliable transports must deliver the
-//! exact byte stream, in order, exactly once.
+//! exact byte stream, in order, exactly once. Sampled cases run on the
+//! crate's own deterministic [`PropRunner`] — each case's inputs replay
+//! from its seeded stream, no external framework involved.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use proptest::prelude::*;
+use rand::Rng;
 
 use kmsg_netsim::engine::Sim;
 use kmsg_netsim::iface::{Connection, StreamAccept, StreamEvents};
 use kmsg_netsim::link::LinkConfig;
 use kmsg_netsim::network::Network;
 use kmsg_netsim::packet::Endpoint;
+use kmsg_netsim::rng::RngStream;
 use kmsg_netsim::tcp::{TcpConfig, TcpConn, TcpListener};
-use kmsg_netsim::testutil::{pattern_bytes, PatternSender, Recorder};
+use kmsg_netsim::testutil::{pattern_bytes, PatternSender, PropRunner, Recorder};
 use kmsg_netsim::udt::{UdtConfig, UdtConn, UdtListener};
+
+/// Unoptimized builds run fewer cases so the suite stays fast.
+const TRANSFER_CASES: u64 = if cfg!(debug_assertions) { 8 } else { 24 };
 
 struct AcceptRecorder(Arc<Recorder>);
 impl StreamAccept for AcceptRecorder {
@@ -32,23 +38,20 @@ struct NetParams {
     bandwidth_mbps: u64,
 }
 
-fn params() -> impl Strategy<Value = NetParams> {
+fn gen_params(rng: &mut RngStream) -> NetParams {
     // Unoptimized builds shrink the workload so the suite stays fast.
     let max_total = if cfg!(debug_assertions) { 80_000 } else { 400_000 };
-    (
-        0u64..1000,
-        1usize..max_total,
-        prop_oneof![Just(0.0), 0.001..0.03f64],
-        0u64..60,
-        1u64..50,
-    )
-        .prop_map(|(seed, total, loss, delay_ms, bandwidth_mbps)| NetParams {
-            seed,
-            total,
-            loss,
-            delay_ms,
-            bandwidth_mbps,
-        })
+    NetParams {
+        seed: rng.gen_range(0u64..1000),
+        total: rng.gen_range(1usize..max_total),
+        loss: if rng.gen_bool(0.5) {
+            0.0
+        } else {
+            rng.gen_range(0.001..0.03f64)
+        },
+        delay_ms: rng.gen_range(0u64..60),
+        bandwidth_mbps: rng.gen_range(1u64..50),
+    }
 }
 
 fn run_tcp(p: &NetParams) -> (usize, bool) {
@@ -106,38 +109,44 @@ fn run_udt(p: &NetParams) -> (usize, bool) {
     (server.data_len(), server.in_order())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: if cfg!(debug_assertions) { 8 } else { 24 },
-        .. ProptestConfig::default()
-    })]
+#[test]
+fn tcp_delivers_exactly_in_order() {
+    PropRunner::new("transport-tcp-exact-delivery")
+        .cases(TRANSFER_CASES)
+        .run(gen_params, |p| {
+            let (len, ordered) = run_tcp(p);
+            assert_eq!(len, p.total, "all bytes must arrive: {p:?}");
+            assert!(ordered, "bytes must be the exact pattern: {p:?}");
+        });
+}
 
-    #[test]
-    fn tcp_delivers_exactly_in_order(p in params()) {
-        let (len, ordered) = run_tcp(&p);
-        prop_assert_eq!(len, p.total, "all bytes must arrive: {:?}", p);
-        prop_assert!(ordered, "bytes must be the exact pattern: {:?}", p);
-    }
+#[test]
+fn udt_delivers_exactly_in_order() {
+    PropRunner::new("transport-udt-exact-delivery")
+        .cases(TRANSFER_CASES)
+        .run(gen_params, |p| {
+            let (len, ordered) = run_udt(p);
+            assert_eq!(len, p.total, "all bytes must arrive: {p:?}");
+            assert!(ordered, "bytes must be the exact pattern: {p:?}");
+        });
+}
 
-    #[test]
-    fn udt_delivers_exactly_in_order(p in params()) {
-        let (len, ordered) = run_udt(&p);
-        prop_assert_eq!(len, p.total, "all bytes must arrive: {:?}", p);
-        prop_assert!(ordered, "bytes must be the exact pattern: {:?}", p);
-    }
-
-    #[test]
-    fn pattern_bytes_consistent(offset in 0usize..10_000, len in 0usize..5_000) {
-        let a = pattern_bytes(offset, len);
-        // Concatenation property: pattern(o, n1) ++ pattern(o+n1, n2) is
-        // pattern(o, n1+n2).
-        let n1 = len / 2;
-        let b = pattern_bytes(offset, n1);
-        let c = pattern_bytes(offset + n1, len - n1);
-        let mut joined = b.to_vec();
-        joined.extend_from_slice(&c);
-        prop_assert_eq!(a.to_vec(), joined);
-    }
+#[test]
+fn pattern_bytes_consistent() {
+    PropRunner::new("pattern-bytes-concatenation").cases(64).run(
+        |rng| (rng.gen_range(0usize..10_000), rng.gen_range(0usize..5_000)),
+        |&(offset, len)| {
+            let a = pattern_bytes(offset, len);
+            // Concatenation property: pattern(o, n1) ++ pattern(o+n1, n2)
+            // is pattern(o, n1+n2).
+            let n1 = len / 2;
+            let b = pattern_bytes(offset, n1);
+            let c = pattern_bytes(offset + n1, len - n1);
+            let mut joined = b.to_vec();
+            joined.extend_from_slice(&c);
+            assert_eq!(a.to_vec(), joined);
+        },
+    );
 }
 
 #[test]
@@ -470,43 +479,62 @@ fn simultaneous_bidirectional_open_completes_both_ways() {
     );
 }
 
-proptest! {
-    /// The engine executes events in (time, insertion) order regardless of
-    /// how they were scheduled.
-    #[test]
-    fn engine_ordering_invariant(delays in proptest::collection::vec(0u64..1000, 1..200)) {
-        use parking_lot::Mutex as PMutex;
-        let sim = Sim::new(1);
-        let log = Arc::new(PMutex::new(Vec::new()));
-        for (idx, &d) in delays.iter().enumerate() {
-            let log = log.clone();
-            sim.schedule_in(Duration::from_micros(d), move |s| {
-                log.lock().push((s.now(), idx));
-            });
-        }
-        sim.run_to_completion();
-        let got = log.lock().clone();
-        prop_assert_eq!(got.len(), delays.len());
-        // Times are non-decreasing, and equal times preserve insertion order.
-        for w in got.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
-            if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "tie must keep insertion order");
+/// The engine executes events in (time, insertion) order regardless of
+/// how they were scheduled.
+#[test]
+fn engine_ordering_invariant() {
+    PropRunner::new("engine-event-ordering").cases(32).run(
+        |rng| {
+            let n = rng.gen_range(1usize..200);
+            (0..n).map(|_| rng.gen_range(0u64..1000)).collect::<Vec<u64>>()
+        },
+        |delays| {
+            use parking_lot::Mutex as PMutex;
+            let sim = Sim::new(1);
+            let log = Arc::new(PMutex::new(Vec::new()));
+            for (idx, &d) in delays.iter().enumerate() {
+                let log = log.clone();
+                sim.schedule_in(Duration::from_micros(d), move |s| {
+                    log.lock().push((s.now(), idx));
+                });
             }
-        }
-    }
+            sim.run_to_completion();
+            let got = log.lock().clone();
+            assert_eq!(got.len(), delays.len());
+            // Times are non-decreasing, and equal times preserve insertion
+            // order.
+            for w in got.windows(2) {
+                assert!(w[0].0 <= w[1].0);
+                if w[0].0 == w[1].0 {
+                    assert!(w[0].1 < w[1].1, "tie must keep insertion order");
+                }
+            }
+        },
+    );
+}
 
-    /// Seeded random streams are stable across construction order.
-    #[test]
-    fn rng_streams_stable(seed in any::<u64>(), name in "[a-z]{1,12}") {
-        use kmsg_netsim::rng::SeedSource;
-        use rand::Rng;
-        let a: u64 = SeedSource::new(seed).stream(&name).gen();
-        // Interleave other stream creations; the named stream is unchanged.
-        let src = SeedSource::new(seed);
-        let _ = src.stream("other");
-        let _ = src.sub_source(5).stream(&name);
-        let b: u64 = src.stream(&name).gen();
-        prop_assert_eq!(a, b);
-    }
+/// Seeded random streams are stable across construction order.
+#[test]
+fn rng_streams_stable() {
+    PropRunner::new("rng-stream-stability").cases(32).run(
+        |rng| {
+            let seed: u64 = rng.gen();
+            let len = rng.gen_range(1usize..=12);
+            let name: String = (0..len)
+                .map(|_| char::from(b'a' + rng.gen_range(0u8..26)))
+                .collect();
+            (seed, name)
+        },
+        |(seed, name)| {
+            use kmsg_netsim::rng::SeedSource;
+            let a: u64 = SeedSource::new(*seed).stream(name).gen();
+            // Interleave other stream creations; the named stream is
+            // unchanged.
+            let src = SeedSource::new(*seed);
+            let _ = src.stream("other");
+            let _ = src.sub_source(5).stream(name);
+            let b: u64 = src.stream(name).gen();
+            assert_eq!(a, b);
+        },
+    );
 }

@@ -50,7 +50,8 @@ impl Oracle for DeliveryOracle {
             });
         }
 
-        let episodes = facts.reconnects + facts.failovers + facts.channels_dropped;
+        let episodes =
+            facts.reconnects + facts.failovers + facts.channels_dropped + facts.controller_swaps;
         if episodes == 0 {
             if facts.duplicates > 0 {
                 out.push(Violation {

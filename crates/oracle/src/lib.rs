@@ -37,6 +37,14 @@
 //!   nothing is delivered that was never published, and the gossiped
 //!   link-state tables reconverge after every heal
 //!   ([`OverlayFacts`]).
+//! * [`CubicOracle`] — CUBIC controller legality over `CcWindow` events:
+//!   β-bounded multiplicative decrease, fast-convergence `W_max`
+//!   accounting, and epoch growth that stays monotone on or under the
+//!   cubic curve `C·(t−K)³ + W_max`.
+//! * [`BbrOracle`] — BBR controller legality over `BbrState`/`CcWindow`
+//!   events: the startup → drain → probe-bandwidth phase machine never
+//!   skips drain, pacing rate stays within the phase gain × estimated
+//!   bottleneck bandwidth, and cwnd within the inflight-cap gain × BDP.
 //!
 //! Oracles consume the **typed** event stream
 //! ([`kmsg_telemetry::Recorder::events`] /
@@ -50,7 +58,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod artifact;
+pub mod bbr;
 pub mod conservation;
+pub mod cubic;
 pub mod delivery;
 pub mod faults;
 pub mod overlay;
@@ -60,7 +70,9 @@ pub mod tcp;
 pub mod udt;
 
 pub use artifact::Json;
+pub use bbr::BbrOracle;
 pub use conservation::ConservationOracle;
+pub use cubic::CubicOracle;
 pub use delivery::DeliveryOracle;
 pub use faults::FaultOracle;
 pub use overlay::OverlayOracle;
@@ -116,6 +128,15 @@ pub struct OracleConfig {
     /// Every fault action in the trace must be healed before it ends
     /// (fuzz scenarios script paired heals; hand-written plans may not).
     pub faults_must_heal: bool,
+    /// CUBIC scaling constant `C` the run's controllers used
+    /// (`CcConfig::cubic_c`), in MSS/s³.
+    pub cubic_c: f64,
+    /// CUBIC multiplicative-decrease factor `β` (`CcConfig::cubic_beta`).
+    pub cubic_beta: f64,
+    /// BBR startup pacing/cwnd gain (`CcConfig::bbr_startup_gain`).
+    pub bbr_startup_gain: f64,
+    /// BBR steady-state inflight-cap gain (`CcConfig::bbr_cwnd_gain`).
+    pub bbr_cwnd_gain: f64,
 }
 
 impl Default for OracleConfig {
@@ -128,6 +149,10 @@ impl Default for OracleConfig {
             dedup_window: 4096,
             expect_completion: false,
             faults_must_heal: false,
+            cubic_c: 0.4,
+            cubic_beta: 0.7,
+            bbr_startup_gain: 2.885,
+            bbr_cwnd_gain: 2.0,
         }
     }
 }
@@ -155,6 +180,10 @@ pub struct RunFacts {
     pub channels_dropped: u64,
     /// DATA frames rerouted to a surviving transport.
     pub failovers: u64,
+    /// Live channels recycled onto a different congestion controller by
+    /// the stack policy (each is an at-least-once redelivery episode,
+    /// like a reconnect).
+    pub controller_swaps: u64,
     /// The workload used a single FIFO channel, so in-order delivery is
     /// expected when no supervision episode occurred. (DATA stripes over
     /// two transports, where reordering is by design.)
@@ -218,6 +247,8 @@ pub fn suite() -> Vec<Box<dyn Oracle>> {
         Box::new(FaultOracle),
         Box::new(SpanOracle),
         Box::new(OverlayOracle),
+        Box::new(CubicOracle),
+        Box::new(BbrOracle),
     ]
 }
 

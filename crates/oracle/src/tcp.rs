@@ -200,6 +200,14 @@ impl Oracle for TcpOracle {
                     }
                     st.last_rto = Some((*rto_us, *consecutive, ev.time_ns));
                 }
+                EventKind::CcWindow { conn, cause, .. } => {
+                    // Non-Reno controllers (CUBIC/BBR) signal loss episodes
+                    // through `CcWindow` instead of `TcpCwnd`; their
+                    // retransmits are just as caused.
+                    if matches!(*cause, "loss" | "rto") {
+                        conns.entry(*conn).or_default().loss_signal_seen = true;
+                    }
+                }
                 EventKind::TcpRetransmit { conn, seq, fast } => {
                     let st = conns.entry(*conn).or_default();
                     if *fast {

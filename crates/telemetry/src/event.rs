@@ -238,10 +238,62 @@ pub enum EventKind {
         /// Link-state plus subscription entries carried in the digest.
         entries: u64,
     },
+    /// Congestion-window transition of a pluggable (non-Reno) congestion
+    /// controller. Reno keeps emitting [`EventKind::TcpCwnd`] (byte-stable
+    /// legacy stream); CUBIC and BBR emit this richer record so the
+    /// per-controller oracles can check window-growth legality.
+    CcWindow {
+        /// Connection id.
+        conn: u64,
+        /// Controller label (`"cubic"`, `"bbr"`).
+        controller: &'static str,
+        /// Transition cause (`"epoch"`, `"growth"`, `"loss"`, `"rto"`).
+        cause: &'static str,
+        /// Congestion window before the transition, bytes.
+        prev_cwnd: f64,
+        /// Congestion window after the transition, bytes.
+        cwnd: f64,
+        /// Slow-start threshold after the transition, bytes.
+        ssthresh: f64,
+        /// Controller-specific reference window, bytes (CUBIC `W_max`;
+        /// `0` when the controller has none).
+        w_max: f64,
+    },
+    /// BBR-style controller state checkpoint: emitted on every phase
+    /// transition and whenever the bottleneck-bandwidth estimate is
+    /// re-adopted, so the BBR oracle can bound pacing rate and cwnd
+    /// against the estimated BDP.
+    BbrState {
+        /// Connection id.
+        conn: u64,
+        /// Phase label (`"startup"`, `"drain"`, `"probe_bw"`).
+        phase: &'static str,
+        /// Current pacing rate, bytes/second.
+        pacing_rate_bps: f64,
+        /// Windowed-max bottleneck bandwidth estimate, bytes/second.
+        btl_bw_bps: f64,
+        /// Windowed-min RTT estimate, microseconds.
+        min_rtt_us: u64,
+        /// Congestion window (inflight cap), bytes.
+        cwnd: f64,
+    },
+    /// A per-destination congestion-controller swap decision on the DATA
+    /// policy surface: the stack policy re-selected the controller for a
+    /// peer, optionally recycling the live TCP channel so the change takes
+    /// effect immediately.
+    CcSwap {
+        /// Peer key (`node_index << 16 | port`, the `ConnStatus` encoding).
+        peer: u64,
+        /// The controller now selected (`"reno"`, `"cubic"`, `"bbr"`).
+        controller: &'static str,
+        /// Whether a live channel was recycled onto the new controller
+        /// (`false` when the swap only affects future dials).
+        recycled: bool,
+    },
 }
 
 /// Number of [`EventKind`] variants — sizes per-kind tally arrays.
-pub const KIND_COUNT: usize = 19;
+pub const KIND_COUNT: usize = 22;
 
 /// Stable snake_case labels, indexed by [`EventKind::index`].
 pub const KIND_LABELS: [&str; KIND_COUNT] = [
@@ -264,6 +316,9 @@ pub const KIND_LABELS: [&str; KIND_COUNT] = [
     "span_close",
     "overlay",
     "gossip",
+    "cc_window",
+    "bbr_state",
+    "cc_swap",
 ];
 
 impl EventKind {
@@ -290,6 +345,9 @@ impl EventKind {
             EventKind::SpanClose { .. } => 16,
             EventKind::Overlay { .. } => 17,
             EventKind::Gossip { .. } => 18,
+            EventKind::CcWindow { .. } => 19,
+            EventKind::BbrState { .. } => 20,
+            EventKind::CcSwap { .. } => 21,
         }
     }
 

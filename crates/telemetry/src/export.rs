@@ -235,6 +235,47 @@ pub fn push_event_json(out: &mut String, ev: &Event) {
             field_u64(out, "peer", *peer);
             field_u64(out, "entries", *entries);
         }
+        EventKind::CcWindow {
+            conn,
+            controller,
+            cause,
+            prev_cwnd,
+            cwnd,
+            ssthresh,
+            w_max,
+        } => {
+            field_u64(out, "conn", *conn);
+            field_str(out, "controller", controller);
+            field_str(out, "cause", cause);
+            field_f64(out, "prev_cwnd", *prev_cwnd);
+            field_f64(out, "cwnd", *cwnd);
+            field_f64(out, "ssthresh", *ssthresh);
+            field_f64(out, "w_max", *w_max);
+        }
+        EventKind::BbrState {
+            conn,
+            phase,
+            pacing_rate_bps,
+            btl_bw_bps,
+            min_rtt_us,
+            cwnd,
+        } => {
+            field_u64(out, "conn", *conn);
+            field_str(out, "phase", phase);
+            field_f64(out, "pacing_rate_bps", *pacing_rate_bps);
+            field_f64(out, "btl_bw_bps", *btl_bw_bps);
+            field_u64(out, "min_rtt_us", *min_rtt_us);
+            field_f64(out, "cwnd", *cwnd);
+        }
+        EventKind::CcSwap {
+            peer,
+            controller,
+            recycled,
+        } => {
+            field_u64(out, "peer", *peer);
+            field_str(out, "controller", controller);
+            field_bool(out, "recycled", *recycled);
+        }
     }
     out.push('}');
 }
