@@ -503,6 +503,10 @@ pub fn run_scenario(spec: &ScenarioSpec) -> FuzzRun {
             chain.world.sim.run_until(heal_horizon);
         }
     }
+    // Sampled between events (the engine never parks mid-dispatch), so
+    // pool occupancy must equal the trace's unmatched sends exactly — the
+    // conservation oracle's pool-leak cross-check relies on this.
+    let pool_live = chain.world.net.packets_in_flight() as u64;
     let sup_a = result.sender_net.supervision();
     let sup_b = result.receiver_net.supervision();
     let facts = RunFacts {
@@ -518,6 +522,7 @@ pub fn run_scenario(spec: &ScenarioSpec) -> FuzzRun {
         fifo_expected: matches!(spec.transport, Transport::Tcp | Transport::Udt),
         evicted_events: result.recorder.evicted(),
         overlay: None,
+        pool_live_at_end: Some(pool_live),
     };
     FuzzRun { result, facts }
 }

@@ -501,6 +501,7 @@ pub fn overlay_run_facts(report: &OverlayReport) -> kmsg_oracle::RunFacts {
         fifo_expected: false,
         evicted_events: report.evicted_events,
         overlay: Some(report.facts.clone()),
+        pool_live_at_end: None,
     }
 }
 

@@ -27,10 +27,10 @@
 //! Tracked metrics:
 //!
 //! * engine: `events_per_sec` per engine/workload row (higher is better);
-//! * scale: `events_per_sec` per host-count row (higher is better) and
-//!   `bytes_per_flow` (lower is better — this one is allocation
-//!   accounting, deterministic per seed, so a real increase always means
-//!   a real regression);
+//! * scale: `events_per_sec` per host-count row (higher is better),
+//!   `bytes_per_flow` and `allocs_per_event` (both lower is better —
+//!   allocation accounting is deterministic per seed, so a real increase
+//!   always means a real regression);
 //! * reroute: `gap_ms` per variant row (lower is better — virtual-time
 //!   outage gaps, deterministic per seed).
 
@@ -175,8 +175,10 @@ fn cc_checks(baseline: &Json, fresh: &Json, out: &mut Vec<Check>) {
     }
 }
 
-/// Scale probe: rows keyed by `hosts`, gated on `events_per_sec` and
-/// `bytes_per_flow`.
+/// Scale probe: rows keyed by `hosts`, gated on `events_per_sec`,
+/// `bytes_per_flow` and `allocs_per_event`. Rows written before the
+/// allocator counters existed simply lack the field and skip that check
+/// (the `num` helper logs a note).
 fn scale_checks(baseline: &Json, fresh: &Json, out: &mut Vec<Check>) {
     let base_rows = baseline.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
     let fresh_rows = fresh.get("rows").and_then(Json::as_arr).unwrap_or(&[]);
@@ -193,7 +195,11 @@ fn scale_checks(baseline: &Json, fresh: &Json, out: &mut Vec<Check>) {
             );
             continue;
         };
-        for (field, higher_is_better) in [("events_per_sec", true), ("bytes_per_flow", false)] {
+        for (field, higher_is_better) in [
+            ("events_per_sec", true),
+            ("bytes_per_flow", false),
+            ("allocs_per_event", false),
+        ] {
             if let (Some(bv), Some(fv)) = (
                 num(baseline, b, field, "scale"),
                 num(fresh, f, field, "scale"),

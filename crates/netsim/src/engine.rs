@@ -68,8 +68,9 @@ use std::time::Duration;
 use kmsg_telemetry::Recorder;
 use parking_lot::Mutex;
 
+use crate::memscope;
 use crate::network::{Network, RouteRef};
-use crate::packet::Packet;
+use crate::pool::PacketHandle;
 use crate::rng::{RngStream, SeedSource};
 use crate::time::SimTime;
 use crate::wheel::{TimingWheel, WheelEntry};
@@ -101,13 +102,15 @@ enum EventKind {
     },
     /// Advance a packet to hop `idx` of its route (deliver when past the
     /// end). The route is an 8-byte span handle into the network's
-    /// flattened link arena, not a refcounted pointer, and the packet rides
-    /// in one box allocated at `send_packet` time and freed at delivery —
-    /// so hop events stay small (the event store holds thousands of them
-    /// inline in wheel slots) and hops themselves never allocate.
+    /// flattened link arena, not a refcounted pointer, and the packet lives
+    /// in the network's [`PacketPool`](crate::pool::PacketPool) — the event
+    /// carries an 8-byte generation-checked handle, the slot is claimed at
+    /// `send_packet` time and recycled at delivery or drop. Hop events stay
+    /// small (the event store holds thousands of them inline in wheel
+    /// slots) and hops themselves never allocate.
     PacketHop {
         net: Network,
-        pkt: Box<Packet>,
+        pkt: PacketHandle,
         route: RouteRef,
         idx: u32,
     },
@@ -215,6 +218,7 @@ impl Sim {
     /// Stamps and stores one event: the now lane if due immediately, the
     /// wheel otherwise. Past times clamp to the current clock.
     fn schedule_event(&self, at: SimTime, event: EventKind) {
+        let _scope = memscope::enter(memscope::SCOPE_ENGINE);
         let mut inner = self.inner.lock();
         let at = at.max(inner.now);
         let seq = inner.seq;
@@ -269,7 +273,7 @@ impl Sim {
         &self,
         at: SimTime,
         net: Network,
-        pkt: Box<Packet>,
+        pkt: PacketHandle,
         route: RouteRef,
         idx: u32,
     ) {
@@ -310,6 +314,7 @@ impl Sim {
         let mut batch = mem::take(&mut self.inner.lock().spare);
         loop {
             {
+                let _scope = memscope::enter(memscope::SCOPE_ENGINE);
                 let mut inner = self.inner.lock();
                 if inner.now_lane.is_empty() {
                     match inner.wheel.next_at() {

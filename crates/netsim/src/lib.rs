@@ -40,8 +40,10 @@ pub mod engine;
 pub mod faults;
 pub mod iface;
 pub mod link;
+pub mod memscope;
 pub mod network;
 pub mod packet;
+pub mod pool;
 pub mod reference;
 pub mod rng;
 pub mod slab;
@@ -49,6 +51,7 @@ pub mod stats;
 pub mod tcp;
 pub mod testutil;
 pub mod time;
+pub mod timerwheel;
 pub mod trace;
 pub mod udp;
 pub mod udt;
@@ -62,7 +65,9 @@ pub use iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvent
 pub use link::{DropReason, GeConfig, LinkConfig, LinkId, PolicerConfig};
 pub use network::{BindError, Network, NetworkStats, PacketSink};
 pub use packet::{Endpoint, NodeId, WireProtocol};
+pub use pool::{PacketHandle, PacketPool};
 pub use slab::{FxHashMap, FxHashSet, FxHasher, Handle, Slab};
+pub use timerwheel::StackTimerWheel;
 pub use time::SimTime;
 pub use trace::{PacketEvent, PacketRecord, PacketTracer, RecorderTracer, RingTracer};
 

@@ -28,7 +28,9 @@ use parking_lot::Mutex;
 
 use crate::engine::Sim;
 use crate::link::{DropReason, Link, LinkConfig, LinkId, Verdict};
+use crate::memscope;
 use crate::packet::{Endpoint, NodeId, Packet, WireProtocol};
+use crate::pool::{PacketHandle, PacketPool};
 use crate::slab::FxHashMap;
 use crate::time::SimTime;
 use crate::trace::{PacketEvent, PacketRecord, PacketTracer};
@@ -129,6 +131,10 @@ struct NetInner {
     sinks: FxHashMap<u64, Arc<dyn PacketSink>>,
     /// Per-node cursor into the ephemeral port range.
     next_ephemeral: FxHashMap<NodeId, u16>,
+    /// Pooled storage for in-flight packets: hop events carry 8-byte
+    /// generation-checked handles into this arena instead of owning boxes,
+    /// and terminal outcomes (deliver/drop/sever) recycle the slot.
+    pool: PacketPool,
     stats: NetworkStats,
     tracer: Option<Arc<dyn PacketTracer>>,
     /// Delay applied to node-local (same-node) deliveries with no route.
@@ -226,6 +232,7 @@ impl Network {
                 route_arena: Vec::new(),
                 sinks: FxHashMap::default(),
                 next_ephemeral: FxHashMap::default(),
+                pool: PacketPool::new(),
                 stats: NetworkStats::default(),
                 tracer: None,
                 local_delay: std::time::Duration::from_micros(5),
@@ -454,10 +461,12 @@ impl Network {
     /// tolerated only for same-node traffic, which is delivered after a
     /// small loopback delay.
     pub fn send_packet(&self, pkt: Packet) {
-        // The packet is boxed once here and freed at delivery (or drop);
-        // every hop event carries the same 8-byte box pointer, keeping the
-        // inline event-store entries small.
-        let mut pkt = Box::new(pkt);
+        // The packet claims one pool slot here and releases it at delivery
+        // (or drop); every hop event carries the same 8-byte handle, keeping
+        // the inline event-store entries small and the per-send heap cost at
+        // zero once the pool is warm.
+        let _scope = memscope::enter(memscope::SCOPE_FABRIC);
+        let mut pkt = pkt;
         {
             let rec = self.sim.recorder();
             if rec.is_enabled() {
@@ -471,31 +480,44 @@ impl Network {
                     .raw();
             }
         }
-        // One lock for the stats bump and the route lookup (the trace call
-        // between them is lock-free when no tracer is installed).
-        let route = {
+        // Lock-free when no tracer is installed (the common case).
+        self.trace(&pkt, PacketEvent::Sent);
+        // What `send_packet` decided under the fabric lock; acted on after
+        // the lock drops (the no-route arm keeps the packet by value — it
+        // never enters the pool).
+        enum Inject {
+            Forward(PacketHandle, RouteRef),
+            Loopback(PacketHandle, std::time::Duration),
+            NoRoute(Packet),
+        }
+        // One lock for the stats bump, the route lookup, and the pool claim.
+        let outcome = {
             let mut inner = self.inner.lock();
             inner.stats.sent += 1;
-            inner.routes.get(&route_key(pkt.src.node, pkt.dst.node)).copied()
+            let route = inner.routes.get(&route_key(pkt.src.node, pkt.dst.node)).copied();
+            match route {
+                Some(r) if r.len > 0 => Inject::Forward(inner.pool.alloc(pkt), r),
+                // An empty or missing route is tolerated only for same-node
+                // traffic (loopback); between distinct nodes it is unrouted.
+                _ if pkt.src.node == pkt.dst.node => {
+                    let delay = inner.local_delay;
+                    Inject::Loopback(inner.pool.alloc(pkt), delay)
+                }
+                _ => {
+                    inner.stats.dropped_no_route += 1;
+                    Inject::NoRoute(pkt)
+                }
+            }
         };
-        self.trace(&pkt, PacketEvent::Sent);
-        match route {
-            Some(r) if r.len > 0 => self.forward(pkt, r, 0),
-            Some(_) | None if pkt.src.node == pkt.dst.node => {
-                let delay = self.inner.lock().local_delay;
+        match outcome {
+            Inject::Forward(h, r) => self.forward(h, r, 0),
+            Inject::Loopback(h, delay) => {
                 // A hop event past the (empty) route's end is a delivery.
                 let at = self.sim.now() + delay;
                 self.sim
-                    .schedule_packet_hop(at, self.clone(), pkt, RouteRef::EMPTY, 0);
+                    .schedule_packet_hop(at, self.clone(), h, RouteRef::EMPTY, 0);
             }
-            Some(_) => {
-                // Empty route between distinct nodes: treat as unrouted.
-                self.inner.lock().stats.dropped_no_route += 1;
-                self.close_flight(&pkt, FLIGHT_NO_ROUTE);
-                self.trace(&pkt, PacketEvent::NoRoute);
-            }
-            None => {
-                self.inner.lock().stats.dropped_no_route += 1;
+            Inject::NoRoute(pkt) => {
                 self.close_flight(&pkt, FLIGHT_NO_ROUTE);
                 self.trace(&pkt, PacketEvent::NoRoute);
             }
@@ -509,11 +531,16 @@ impl Network {
     /// (no `Arc` clone per hop) and the next hop event is scheduled before
     /// the lock drops. Lock order is always fabric → link → engine; link and
     /// engine code never calls back into the fabric, so this cannot deadlock.
-    fn forward(&self, mut pkt: Box<Packet>, route: RouteRef, idx: u32) {
+    fn forward(&self, h: PacketHandle, route: RouteRef, idx: u32) {
         let dropped = {
-            let mut inner = self.inner.lock();
-            let link_id = inner.route_links(route)[idx as usize];
+            let mut guard = self.inner.lock();
+            let inner = &mut *guard;
+            let link_id = inner.route_arena[route.off as usize + idx as usize];
             let link = &inner.links[link_id.index() as usize];
+            let pkt = inner
+                .pool
+                .get_mut(h)
+                .expect("in-flight packet vanished from pool");
             match link.transmit(&self.sim, pkt.wire_size, pkt.protocol.is_udp_family()) {
                 Verdict::DeliverAt(at) => {
                     // Stamp the sever epoch: if the link is severed before
@@ -544,11 +571,16 @@ impl Network {
                             .raw();
                     }
                     self.sim
-                        .schedule_packet_hop(at, self.clone(), pkt, route, idx + 1);
+                        .schedule_packet_hop(at, self.clone(), h, route, idx + 1);
                     None
                 }
                 Verdict::Dropped(reason) => {
                     inner.stats.dropped_link += 1;
+                    // The slot is recycled right here on the fault path.
+                    let pkt = inner
+                        .pool
+                        .free(h)
+                        .expect("dropped packet vanished from pool");
                     Some((link_id, reason, pkt))
                 }
             }
@@ -568,24 +600,34 @@ impl Network {
 
     /// Entry point for scheduled packet-hop events: continue along the route
     /// at `idx`, or deliver once past its end.
-    pub(crate) fn packet_hop(&self, mut pkt: Box<Packet>, route: RouteRef, idx: u32) {
+    pub(crate) fn packet_hop(&self, h: PacketHandle, route: RouteRef, idx: u32) {
+        let _scope = memscope::enter(memscope::SCOPE_FABRIC);
         // Arrival check for the hop just crossed: a sever while the packet
         // was in flight kills it here (carrier loss, not an unplugged
-        // uplink — see `Link::sever`).
+        // uplink — see `Link::sever`), returning the pool slot.
         if idx >= 1 {
             let severed = {
-                let mut inner = self.inner.lock();
-                let link_id = inner.route_links(route)[idx as usize - 1];
+                let mut guard = self.inner.lock();
+                let inner = &mut *guard;
+                let link_id = inner.route_arena[route.off as usize + idx as usize - 1];
                 let link = &inner.links[link_id.index() as usize];
+                let pkt = inner
+                    .pool
+                    .get_mut(h)
+                    .expect("in-flight packet vanished from pool");
                 if link.epoch() != pkt.sever_epoch {
                     link.note_severed();
                     inner.stats.dropped_link += 1;
-                    Some(link_id)
+                    let pkt = inner
+                        .pool
+                        .free(h)
+                        .expect("severed packet vanished from pool");
+                    Some((link_id, pkt))
                 } else {
                     None
                 }
             };
-            if let Some(link_id) = severed {
+            if let Some((link_id, mut pkt)) = severed {
                 self.sim
                     .recorder()
                     .record_with(self.sim.now().as_nanos(), || EventKind::LinkDrop {
@@ -598,38 +640,78 @@ impl Network {
                 self.trace(&pkt, PacketEvent::Dropped(DropReason::Severed));
                 return;
             }
-            self.close_hop(&mut pkt, 0);
+            // Close the crossed hop's span without re-locking: take the raw
+            // span id out of the pooled packet under the same lock scope.
+            let hop_span = {
+                let mut inner = self.inner.lock();
+                let pkt = inner
+                    .pool
+                    .get_mut(h)
+                    .expect("in-flight packet vanished from pool");
+                std::mem::take(&mut pkt.hop_span)
+            };
+            if hop_span != 0 {
+                self.sim.recorder().record(
+                    self.sim.now().as_nanos(),
+                    EventKind::SpanClose { span: hop_span, key: 0 },
+                );
+            }
         }
         if idx < route.len {
-            self.forward(pkt, route, idx);
+            self.forward(h, route, idx);
         } else {
-            self.deliver(pkt);
+            self.deliver(h);
         }
     }
 
-    fn deliver(&self, pkt: Box<Packet>) {
-        let sink = {
+    fn deliver(&self, h: PacketHandle) {
+        let (pkt, sink) = {
             let mut inner = self.inner.lock();
+            // The slot is recycled here: the sink gets the packet by value.
+            let pkt = inner
+                .pool
+                .free(h)
+                .expect("delivered packet vanished from pool");
             let key = sink_key(pkt.dst.node, pkt.protocol, pkt.dst.port);
             let found = inner.sinks.get(&key).cloned();
             match &found {
                 Some(_) => inner.stats.delivered += 1,
                 None => inner.stats.dropped_no_sink += 1,
             }
-            found
+            (pkt, found)
         };
         match sink {
             Some(sink) => {
                 self.close_flight(&pkt, FLIGHT_DELIVERED);
                 self.trace(&pkt, PacketEvent::Delivered);
-                // The box dies here: the sink gets the packet by value.
-                sink.on_packet(self, *pkt);
+                sink.on_packet(self, pkt);
             }
             None => {
                 self.close_flight(&pkt, FLIGHT_NO_SINK);
                 self.trace(&pkt, PacketEvent::NoSink);
             }
         }
+    }
+
+    /// Packets currently in flight (live pool slots). A fully drained
+    /// simulation reports zero — anything else is a leaked pool slot, which
+    /// the fault-path leak tests and the fuzz conservation oracle reject.
+    #[must_use]
+    pub fn packets_in_flight(&self) -> usize {
+        self.inner.lock().pool.live()
+    }
+
+    /// Packet-pool lifetime counters: `(total_allocated, high_water)`.
+    #[must_use]
+    pub fn packet_pool_stats(&self) -> (u64, usize) {
+        let inner = self.inner.lock();
+        (inner.pool.total_allocated(), inner.pool.high_water())
+    }
+
+    /// Retained packet-pool slot storage in bytes (scaling-probe RSS term).
+    #[must_use]
+    pub fn packet_pool_mem_bytes(&self) -> usize {
+        self.inner.lock().pool.mem_bytes()
     }
 
     /// Snapshot of fabric-wide counters.

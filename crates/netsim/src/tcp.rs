@@ -38,10 +38,12 @@ use parking_lot::Mutex;
 use crate::cc::{self, CcConfig, CcCtx, CongestionController};
 use crate::engine::{EventTarget, Sim};
 use crate::iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvents};
+use crate::memscope;
 use crate::network::{BindError, Network, PacketSink, WeakNetwork};
 use crate::packet::{Endpoint, NodeId, Packet, PacketBody, WireProtocol};
 use crate::slab::{FxHashMap, Handle, Slab};
 use crate::time::SimTime;
+use crate::timerwheel::StackTimerWheel;
 
 /// TCP tuning parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -237,14 +239,33 @@ fn pair_key(local: Endpoint, peer: Endpoint) -> u128 {
     (u128::from(ep_key(local)) << 64) | u128::from(ep_key(peer))
 }
 
+/// Releases a drained queue's retained ring storage so a long-lived idle
+/// flow doesn't pin its peak-burst capacity; small rings are kept to avoid
+/// realloc thrash on steady-state flows.
+fn release_drained<T>(q: &mut VecDeque<T>) {
+    if q.is_empty() && q.capacity() >= 32 {
+        *q = VecDeque::new();
+    }
+}
+
 /// Timer-token layout: `kind(3) | slot-index(29) | aux(32)`. The aux word
 /// carries the slab generation so a token can never resurrect a reused slot.
+///
+/// Per-flow tokens (`KIND_RTO`/`KIND_DELACK`/`KIND_PACER`) no longer reach
+/// the engine directly: they wait in the stack's [`StackTimerWheel`] and
+/// the only engine-facing events are `KIND_WHEEL` ticks, whose low 61 bits
+/// carry the tick's nanosecond timestamp instead of a slot/generation pair.
 const TOKEN_KIND_SHIFT: u32 = 61;
 const TOKEN_IDX_SHIFT: u32 = 32;
 const TOKEN_IDX_MASK: u64 = (1 << 29) - 1;
 const KIND_RTO: u64 = 0;
 const KIND_DELACK: u64 = 1;
 const KIND_PACER: u64 = 2;
+/// A coalesced wheel tick servicing every flow timer due at that instant.
+const KIND_WHEEL: u64 = 3;
+/// Mask for the tick timestamp carried by a `KIND_WHEEL` token (61 bits of
+/// nanoseconds ≈ 73 simulated years).
+const WHEEL_TICK_MASK: u64 = (1 << TOKEN_KIND_SHIFT) - 1;
 
 fn token(kind: u64, h: Handle<Flow>) -> u64 {
     (kind << TOKEN_KIND_SHIFT)
@@ -433,6 +454,9 @@ struct StackInner {
     conn_index: FxHashMap<u128, Handle<Flow>>,
     /// Listening ports keyed by [`ep_key`].
     listeners: FxHashMap<u64, ListenerEntry>,
+    /// Coalesced flow timers: one engine event per distinct deadline tick,
+    /// serving every RTO/delack/pacer token due at that instant.
+    timers: StackTimerWheel,
 }
 
 /// Per-network TCP state: every flow on the network lives in this one slab.
@@ -463,8 +487,25 @@ impl TcpStack {
                 configs: Vec::new(),
                 conn_index: FxHashMap::default(),
                 listeners: FxHashMap::default(),
+                timers: StackTimerWheel::new(),
             }),
         })
+    }
+
+    /// Registers a per-flow timer token on the stack wheel. Only the first
+    /// token for a tick schedules an engine event — the wheel batches every
+    /// same-tick deadline into that one dispatch.
+    fn arm_timer(self: &Arc<Self>, delay: Duration, tok: u64) {
+        let at = self.sim.now() + delay;
+        debug_assert_eq!(at.as_nanos() >> TOKEN_KIND_SHIFT, 0, "sim time overflows wheel token");
+        let fresh = self.inner.lock().timers.register(at, tok);
+        if fresh {
+            self.sim.schedule_target_at(
+                at,
+                self.clone(),
+                (KIND_WHEEL << TOKEN_KIND_SHIFT) | (at.as_nanos() & WHEEL_TICK_MASK),
+            );
+        }
     }
 
     /// Interns `cfg`, returning its table id (worlds use a handful of
@@ -507,7 +548,10 @@ impl TcpStack {
             flow.rto_armed = false;
             flow.pacer_armed = false;
             flow.delack_pending = 0;
-            flow.send_q.clear();
+            // Fresh containers rather than clear(): a killed flow's slot
+            // lingers in the slab, and VecDeque::clear keeps its ring
+            // buffer allocated (the B-tree containers free on clear).
+            flow.send_q = VecDeque::new();
             flow.send_q_bytes = 0;
             close_all_seg_spans(flow, &self.rec, self.sim.now());
             flow.sent.clear();
@@ -540,6 +584,7 @@ impl TcpStack {
     where
         F: FnOnce(&mut Flow, &TcpConfig, &Recorder, SimTime, &mut Vec<Action>),
     {
+        let _scope = memscope::enter(memscope::SCOPE_TCP);
         let now = self.sim.now();
         let mut actions = Vec::new();
         let (local, peer, id, events) = {
@@ -612,18 +657,9 @@ impl TcpStack {
                         ev.on_closed(conn, reason);
                     }
                 }
-                Action::ArmRto(delay) => {
-                    self.sim
-                        .schedule_target_in(delay, self.clone(), token(KIND_RTO, h));
-                }
-                Action::ArmDelack(delay) => {
-                    self.sim
-                        .schedule_target_in(delay, self.clone(), token(KIND_DELACK, h));
-                }
-                Action::ArmPacer(delay) => {
-                    self.sim
-                        .schedule_target_in(delay, self.clone(), token(KIND_PACER, h));
-                }
+                Action::ArmRto(delay) => self.arm_timer(delay, token(KIND_RTO, h)),
+                Action::ArmDelack(delay) => self.arm_timer(delay, token(KIND_DELACK, h)),
+                Action::ArmPacer(delay) => self.arm_timer(delay, token(KIND_PACER, h)),
             }
         }
     }
@@ -770,6 +806,7 @@ impl TcpStack {
     /// Demuxes an incoming segment: established flows by endpoint pair,
     /// otherwise a listener performs a passive open.
     fn dispatch(self: &Arc<Self>, src: Endpoint, dst: Endpoint, seg: TcpSegment) {
+        let _scope = memscope::enter(memscope::SCOPE_TCP);
         let known = self.inner.lock().conn_index.get(&pair_key(dst, src)).copied();
         if let Some(h) = known {
             self.handle_segment(h, seg);
@@ -861,6 +898,28 @@ impl PacketSink for TcpStack {
 
 impl EventTarget for TcpStack {
     fn fire(self: Arc<Self>, _sim: &Sim, token: u64) {
+        let _scope = memscope::enter(memscope::SCOPE_TCP);
+        if token >> TOKEN_KIND_SHIFT == KIND_WHEEL {
+            // A coalesced tick: drain the whole bucket and service every
+            // registered flow timer in arming order. Stale tokens (re-armed
+            // or dead flows) no-op in `service_timer`.
+            let tick = SimTime::from_nanos(token & WHEEL_TICK_MASK);
+            let Some(batch) = self.inner.lock().timers.take(tick) else {
+                return;
+            };
+            for &tok in &batch {
+                self.service_timer(tok);
+            }
+            self.inner.lock().timers.recycle(batch);
+        } else {
+            self.service_timer(token);
+        }
+    }
+}
+
+impl TcpStack {
+    /// Services one per-flow timer token (see the token layout above).
+    fn service_timer(self: &Arc<Self>, token: u64) {
         let kind = token >> TOKEN_KIND_SHIFT;
         let idx = ((token >> TOKEN_IDX_SHIFT) & TOKEN_IDX_MASK) as u32;
         let gen = token as u32;
@@ -1334,6 +1393,7 @@ fn try_send(
         let payload = head.split_to(take);
         if head.is_empty() {
             flow.send_q.pop_front();
+            release_drained(&mut flow.send_q);
         }
         flow.send_q_bytes -= take;
         let seg = TcpSegment {

@@ -42,10 +42,12 @@ use parking_lot::Mutex;
 
 use crate::engine::{EventTarget, Sim};
 use crate::iface::{CloseReason, Connection, ConnectionId, StreamAccept, StreamEvents};
+use crate::memscope;
 use crate::network::{BindError, Network, PacketSink, WeakNetwork};
 use crate::packet::{Endpoint, NodeId, Packet, PacketBody, WireProtocol};
 use crate::slab::{FxHashMap, Handle, Slab};
 use crate::time::SimTime;
+use crate::timerwheel::StackTimerWheel;
 
 /// UDT tuning parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -201,6 +203,15 @@ fn pair_key(local: Endpoint, peer: Endpoint) -> u128 {
     (u128::from(ep_key(local)) << 64) | u128::from(ep_key(peer))
 }
 
+/// Releases a drained queue's retained ring storage so a long-lived idle
+/// flow doesn't pin its peak-burst capacity; small rings are kept to avoid
+/// realloc thrash on steady-state flows.
+fn release_drained<T>(q: &mut VecDeque<T>) {
+    if q.is_empty() && q.capacity() >= 32 {
+        *q = VecDeque::new();
+    }
+}
+
 /// Timer-token layout: `kind(3) | slot-index(29) | aux(32)`.
 ///
 /// `aux` carries the pacer generation (truncated to 32 bits and compared
@@ -208,6 +219,10 @@ fn pair_key(local: Endpoint, peer: Endpoint) -> u128 {
 /// `KIND_HS_RETRY`; the periodic ticks and the receive-processing queue
 /// don't need it (flow slots are never reused, and processing completions
 /// are consumed strictly in FIFO order from the flow's own queue).
+///
+/// Per-flow tokens wait in the stack's [`StackTimerWheel`]; the only
+/// engine-facing events are `KIND_WHEEL` ticks whose low 61 bits carry the
+/// tick's nanosecond timestamp (same scheme as the TCP stack).
 const TOKEN_KIND_SHIFT: u32 = 61;
 const TOKEN_IDX_SHIFT: u32 = 32;
 const TOKEN_IDX_MASK: u64 = (1 << 29) - 1;
@@ -216,6 +231,10 @@ const KIND_SYN_TICK: u64 = 1;
 const KIND_EXP_TICK: u64 = 2;
 const KIND_PROC: u64 = 3;
 const KIND_HS_RETRY: u64 = 4;
+/// A coalesced wheel tick servicing every flow timer due at that instant.
+const KIND_WHEEL: u64 = 5;
+/// Mask for the tick timestamp carried by a `KIND_WHEEL` token.
+const WHEEL_TICK_MASK: u64 = (1 << TOKEN_KIND_SHIFT) - 1;
 
 fn token(kind: u64, h: Handle<Flow>, aux: u32) -> u64 {
     (kind << TOKEN_KIND_SHIFT)
@@ -421,6 +440,7 @@ struct StackInner {
     configs: Vec<UdtConfig>,
     conn_index: FxHashMap<u128, Handle<Flow>>,
     listeners: FxHashMap<u64, ListenerEntry>,
+    timers: StackTimerWheel,
 }
 
 /// Per-network UDT state: every flow on the network lives in this one slab.
@@ -450,6 +470,7 @@ impl UdtStack {
                 configs: Vec::new(),
                 conn_index: FxHashMap::default(),
                 listeners: FxHashMap::default(),
+                timers: StackTimerWheel::new(),
             }),
         })
     }
@@ -484,7 +505,10 @@ impl UdtStack {
             }
             flow.state = State::Closed;
             flow.pacer_active = false;
-            flow.send_q.clear();
+            // Fresh containers rather than clear(): a killed flow's slot
+            // lingers in the slab, and VecDeque::clear keeps its ring
+            // buffer allocated (the B-tree containers free on clear).
+            flow.send_q = VecDeque::new();
             flow.send_q_bytes = 0;
             flow.packets.clear();
             flow.loss_list.clear();
@@ -501,8 +525,8 @@ impl UdtStack {
             flow.ooo.clear();
             flow.ooo_bytes = 0;
             flow.missing.clear();
-            flow.proc_fifo.clear();
-            flow.pair_samples.clear();
+            flow.proc_fifo = VecDeque::new();
+            flow.pair_samples = VecDeque::new();
             let key = pair_key(flow.local, flow.peer);
             let events = flow.events.take();
             inner.conn_index.remove(&key);
@@ -521,12 +545,28 @@ impl UdtStack {
         }
     }
 
+    /// Registers a per-flow timer token in the stack's wheel; the first
+    /// registration for a given tick schedules the single engine event that
+    /// will service every token due then (see the TCP stack's twin).
+    fn arm_timer(self: &Arc<Self>, at: SimTime, tok: u64) {
+        debug_assert_eq!(at.as_nanos() >> TOKEN_KIND_SHIFT, 0, "sim time overflows wheel token");
+        let fresh = self.inner.lock().timers.register(at, tok);
+        if fresh {
+            self.sim.schedule_target_at(
+                at,
+                self.clone(),
+                (KIND_WHEEL << TOKEN_KIND_SHIFT) | (at.as_nanos() & WHEEL_TICK_MASK),
+            );
+        }
+    }
+
     /// Runs `f` on the flow under the stack lock, then performs the
     /// produced actions without holding it.
     fn process<F>(self: &Arc<Self>, h: Handle<Flow>, f: F)
     where
         F: FnOnce(&mut Flow, &UdtConfig, &Recorder, SimTime, &mut Vec<Action>),
     {
+        let _scope = memscope::enter(memscope::SCOPE_UDT);
         let now = self.sim.now();
         let mut actions = Vec::new();
         let (local, peer, id, events) = {
@@ -617,30 +657,23 @@ impl UdtStack {
                     }
                 }
                 Action::ArmPacer(delay, gen) => {
-                    self.sim.schedule_target_in(
-                        delay,
-                        self.clone(),
-                        token(KIND_PACER, h, gen as u32),
-                    );
+                    let at = self.sim.now() + delay;
+                    self.arm_timer(at, token(KIND_PACER, h, gen as u32));
                 }
                 Action::ArmSynTick(delay) => {
-                    self.sim
-                        .schedule_target_in(delay, self.clone(), token(KIND_SYN_TICK, h, 0));
+                    let at = self.sim.now() + delay;
+                    self.arm_timer(at, token(KIND_SYN_TICK, h, 0));
                 }
                 Action::ArmExpTick(delay) => {
-                    self.sim
-                        .schedule_target_in(delay, self.clone(), token(KIND_EXP_TICK, h, 0));
+                    let at = self.sim.now() + delay;
+                    self.arm_timer(at, token(KIND_EXP_TICK, h, 0));
                 }
                 Action::ArmProc(at) => {
-                    self.sim
-                        .schedule_target_at(at, self.clone(), token(KIND_PROC, h, 0));
+                    self.arm_timer(at.max(self.sim.now()), token(KIND_PROC, h, 0));
                 }
                 Action::ArmHsRetry(delay, attempt) => {
-                    self.sim.schedule_target_in(
-                        delay,
-                        self.clone(),
-                        token(KIND_HS_RETRY, h, attempt),
-                    );
+                    let at = self.sim.now() + delay;
+                    self.arm_timer(at, token(KIND_HS_RETRY, h, attempt));
                 }
             }
         }
@@ -827,6 +860,7 @@ impl UdtStack {
             let Some((seq, probe)) = flow.proc_fifo.pop_front() else {
                 return;
             };
+            release_drained(&mut flow.proc_fifo);
             if flow.state == State::Closed {
                 return;
             }
@@ -1018,6 +1052,7 @@ impl UdtStack {
     /// Demuxes an incoming packet: established flows by endpoint pair,
     /// otherwise a listener performs a passive open on a Handshake.
     fn dispatch(self: &Arc<Self>, src: Endpoint, dst: Endpoint, pkt: UdtPacket) {
+        let _scope = memscope::enter(memscope::SCOPE_UDT);
         let known = self.inner.lock().conn_index.get(&pair_key(dst, src)).copied();
         if let Some(h) = known {
             self.handle_packet(h, pkt);
@@ -1092,6 +1127,31 @@ impl PacketSink for UdtStack {
 
 impl EventTarget for UdtStack {
     fn fire(self: Arc<Self>, _sim: &Sim, token: u64) {
+        let _scope = memscope::enter(memscope::SCOPE_UDT);
+        if token >> TOKEN_KIND_SHIFT == KIND_WHEEL {
+            let tick = SimTime::from_nanos(token & WHEEL_TICK_MASK);
+            let Some(batch) = ({
+                let mut inner = self.inner.lock();
+                inner.timers.take(tick)
+            }) else {
+                return;
+            };
+            for tok in &batch {
+                self.service_timer(*tok);
+            }
+            self.inner.lock().timers.recycle(batch);
+        } else {
+            self.service_timer(token);
+        }
+    }
+}
+
+impl UdtStack {
+    /// Services one per-flow timer token drained from the wheel (the body
+    /// of the pre-wheel per-timer `fire`). Stale tokens no-op: dead flow
+    /// slots resolve to `None`, and each handler re-checks its own
+    /// armed-state/generation discipline.
+    fn service_timer(self: &Arc<Self>, token: u64) {
         let kind = token >> TOKEN_KIND_SHIFT;
         let idx = ((token >> TOKEN_IDX_SHIFT) & TOKEN_IDX_MASK) as u32;
         let aux = token as u32;
@@ -1242,6 +1302,7 @@ fn send_one(flow: &mut Flow, cfg: &UdtConfig, _now: SimTime, out: &mut Vec<Actio
         let payload = head.split_to(take);
         if head.is_empty() {
             flow.send_q.pop_front();
+            release_drained(&mut flow.send_q);
         }
         flow.send_q_bytes -= take;
         let seq = flow.snd_nxt;

@@ -10,7 +10,11 @@
 //! * every send is matched by a terminal, except for packets still
 //!   plausibly in flight: the unmatched sends must all sit within
 //!   [`crate::OracleConfig::drain_grace_ns`] of the end of the trace
-//!   (queue drain + propagation + scripted latency spikes).
+//!   (queue drain + propagation + scripted latency spikes);
+//! * when the runner sampled [`crate::RunFacts::pool_live_at_end`], the
+//!   fabric's in-flight packet pool holds exactly as many live slots as
+//!   the trace shows unmatched sends — a surplus is a leaked pool slot,
+//!   a deficit a double free.
 //!
 //! Truncated traces (ring eviction) are skipped: an evicted `"sent"`
 //! leaves its terminal looking orphaned and vice versa.
@@ -65,6 +69,7 @@ impl Oracle for ConservationOracle {
                 ledger.terminals += 1;
             }
         }
+        let mut in_flight_traced = 0u64;
         for ((src, dst, proto), ledger) in &flows {
             let sent = ledger.sent_at.len() as u64;
             if ledger.terminals > sent {
@@ -81,6 +86,7 @@ impl Oracle for ConservationOracle {
                 continue;
             }
             let unmatched = (sent - ledger.terminals) as usize;
+            in_flight_traced += unmatched as u64;
             if unmatched == 0 {
                 continue;
             }
@@ -100,6 +106,20 @@ impl Oracle for ConservationOracle {
                          {}ns before the trace end — beyond the {}ns drain grace",
                         end_ns - oldest_unmatched,
                         cfg.drain_grace_ns
+                    ),
+                });
+            }
+        }
+        if let Some(live) = facts.pool_live_at_end {
+            if live != in_flight_traced {
+                out.push(Violation {
+                    oracle: "conservation",
+                    rule: "pool_leak",
+                    time_ns: end_ns,
+                    detail: format!(
+                        "packet pool holds {live} live slots at the sample point but \
+                         the trace shows {in_flight_traced} packets in flight — \
+                         leaked slots if over, double frees if under"
                     ),
                 });
             }
@@ -176,6 +196,42 @@ mod tests {
         let v = check(&events);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "double_terminal");
+    }
+
+    #[test]
+    fn pool_leak_fires_on_surplus_slot() {
+        let events = vec![pkt(10, "sent"), pkt(30, "delivered")];
+        let facts = RunFacts {
+            pool_live_at_end: Some(1),
+            ..RunFacts::default()
+        };
+        let v = ConservationOracle.check(&events, &facts, &OracleConfig::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "pool_leak");
+    }
+
+    #[test]
+    fn pool_matching_in_flight_is_clean() {
+        let grace = OracleConfig::default().drain_grace_ns;
+        let events = vec![
+            pkt(0, "sent"),
+            pkt(10, "delivered"),
+            pkt(grace, "sent"), // still in flight — and still pooled
+        ];
+        let facts = RunFacts {
+            pool_live_at_end: Some(1),
+            ..RunFacts::default()
+        };
+        assert!(ConservationOracle
+            .check(&events, &facts, &OracleConfig::default())
+            .is_empty());
+        let drained = RunFacts {
+            pool_live_at_end: Some(0),
+            ..RunFacts::default()
+        };
+        let v = ConservationOracle.check(&events, &drained, &OracleConfig::default());
+        assert_eq!(v.len(), 1, "a deficit (double free) must fire too");
+        assert_eq!(v[0].rule, "pool_leak");
     }
 
     #[test]

@@ -195,6 +195,12 @@ pub struct RunFacts {
     /// scenario ran no overlay (the [`OverlayOracle`] fact rules then
     /// stay silent; its stream rules always apply).
     pub overlay: Option<OverlayFacts>,
+    /// Live slots in the fabric's in-flight packet pool when the run was
+    /// sampled (`None` when the runner didn't measure it). The
+    /// conservation oracle cross-checks this against the trace's own
+    /// in-flight count: every extra slot is a leak, every missing one a
+    /// double free.
+    pub pool_live_at_end: Option<u64>,
 }
 
 /// End-of-run summary of a pub/sub overlay run, captured by the scenario
